@@ -1,0 +1,136 @@
+"""Ablations of the design choices the paper calls out.
+
+* **1024-byte INIC packets** (Section 4.2: "A packet size of 1024 is
+  reasonable ... there is no particular incentive to maximize the
+  packet size") — sweep packet size and confirm its flatness.
+* **64 KiB DMA threshold** (Eq. 15's efficiency rationale) — sweep the
+  receive->host granule.
+* **Shared vs dedicated card bus** (the prototype's Section-5 weakness)
+  — same design, both card geometries.
+* **Pairwise vs concurrent all-to-all** (the baseline MPI schedule).
+* **Reconfiguration cost** (mode switching between applications).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.apps.fft import baseline_fft2d, inic_fft2d
+from repro.cluster import Cluster, ClusterSpec, ParallelApp, alltoall, alltoall_concurrent
+from repro.core import build_acc, fft_transpose_design, integer_sort_design
+from repro.inic import ACEII_PROTOTYPE, CardSpec, IDEAL_INIC
+from repro.protocols import INICProtoConfig
+
+P = 4
+ROWS = 128
+
+
+def _matrix(seed=8):
+    g = np.random.default_rng(seed)
+    return g.standard_normal((ROWS, ROWS)) + 1j * g.standard_normal((ROWS, ROWS))
+
+
+def _inic_time(card: CardSpec) -> float:
+    cluster, manager = build_acc(P, card=card)
+    _, res = inic_fft2d(cluster, manager, _matrix())
+    return res.makespan
+
+
+@pytest.mark.parametrize("packet", [256, 1024, 4096])
+def test_packet_size_flatness(benchmark, packet):
+    """Per Section 4.2, the INIC gains little from bigger packets."""
+    import dataclasses
+
+    card = dataclasses.replace(
+        IDEAL_INIC, proto=INICProtoConfig(packet_size=packet)
+    )
+    t = run_once(benchmark, _inic_time, card)
+    base = _inic_time(IDEAL_INIC)
+    print(f"\npacket={packet}: {t * 1000:.2f} ms (1024B: {base * 1000:.2f} ms)")
+    # Within 25% of the 1024-byte default across a 16x size range.
+    assert abs(t - base) / base < 0.25
+
+
+@pytest.mark.parametrize("threshold_kib", [16, 64, 256])
+def test_dma_threshold_sweep(benchmark, threshold_kib):
+    """The 64 KiB receive granule balances DMA efficiency (small
+    thresholds transfer inefficiently) against drain latency."""
+    import dataclasses
+
+    card = dataclasses.replace(IDEAL_INIC, dma_threshold=threshold_kib * 1024)
+    t = run_once(benchmark, _inic_time, card)
+    print(f"\nthreshold={threshold_kib}KiB: {t * 1000:.2f} ms")
+    assert t > 0
+
+
+def test_shared_bus_penalty(benchmark):
+    """Dedicated paths (ideal) vs the ACEII's single shared bus."""
+    t_ideal = _inic_time(IDEAL_INIC)
+    t_proto = run_once(benchmark, _inic_time, ACEII_PROTOTYPE)
+    print(f"\nideal {t_ideal * 1000:.2f} ms vs shared-bus {t_proto * 1000:.2f} ms")
+    assert t_proto > t_ideal
+
+
+def test_pairwise_vs_concurrent_alltoall(benchmark):
+    """The FFTW pairwise schedule serializes latency; a fully concurrent
+    all-to-all of the same volume is faster at this scale."""
+    times = {}
+    for name, coll in (("pairwise", alltoall), ("concurrent", alltoall_concurrent)):
+        cluster = Cluster.build(ClusterSpec(n_nodes=8))
+        app = ParallelApp(cluster)
+        block = 32 * 1024
+
+        def program(ctx, _coll=coll):
+            blocks = [(block, None) for _ in range(8)]
+            yield from _coll(ctx, blocks)
+            return None
+
+        times[name] = app.run(program).makespan
+
+    def measure():
+        return times
+
+    run_once(benchmark, measure)
+    print(f"\npairwise {times['pairwise'] * 1000:.2f} ms vs "
+          f"concurrent {times['concurrent'] * 1000:.2f} ms")
+    assert times["concurrent"] < times["pairwise"]
+
+
+def test_reconfiguration_cost_between_apps(benchmark):
+    """Switching FFT -> sort designs costs one bitstream load per card."""
+    cluster, manager = build_acc(2)
+
+    def reconfigure():
+        t_fft = manager.configure_all(fft_transpose_design)
+        t_sort = manager.configure_all(lambda: integer_sort_design(cluster.spec.inic))
+        return t_fft, t_sort
+
+    t_fft, t_sort = run_once(benchmark, reconfigure)
+    print(f"\nconfig times: fft {t_fft * 1000:.0f} ms, sort {t_sort * 1000:.0f} ms")
+    assert manager.reconfigurations() == 4
+    assert t_fft > 0 and t_sort > 0
+
+
+def test_interrupt_mitigation_off_hurts_baseline(benchmark):
+    """Disable coalescing entirely: per-frame interrupts tax the host."""
+    from repro.cluster import NodeHardware
+    from repro.hw import CoalescePolicy
+
+    times = {}
+    for label, policy in (
+        ("mitigated", None),  # builder default (70us/10 frames)
+        ("per-frame", CoalescePolicy()),
+    ):
+        node = NodeHardware() if policy is None else NodeHardware(coalesce=policy)
+        cluster = Cluster.build(ClusterSpec(n_nodes=P, node=node))
+        _, res = baseline_fft2d(cluster, _matrix())
+        times[label] = (
+            res.makespan,
+            sum(n.cpu.interrupt_time for n in cluster.nodes),
+        )
+
+    run_once(benchmark, lambda: times)
+    print(f"\nmitigated: {times['mitigated'][1]:.2e}s irq cpu; "
+          f"per-frame: {times['per-frame'][1]:.2e}s irq cpu")
+    assert times["per-frame"][1] > times["mitigated"][1]

@@ -1,0 +1,41 @@
+"""Figure 4(a): analytic FFTW speedups — ideal INIC vs Gigabit Ethernet.
+
+Paper shape: the INIC curves are near-linear out to 16 processors with
+"no substantial indication of when that linear speedup will end"; the
+GigE curves sit below them and flatten, with the smaller (256x256)
+matrix scaling worse than the larger one at high P.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig4a
+from repro.bench.harness import Scale, render_table
+from repro.bench.report import shape_summary
+
+
+def test_fig4a_speedups(benchmark):
+    scale = Scale.paper()  # the model is closed-form: paper scale is free
+    exp = run_once(benchmark, fig4a, scale)
+    print()
+    print(render_table(exp))
+
+    inic256 = exp.series_named("INIC 256x256")
+    inic512 = exp.series_named("INIC 512x512")
+    gige256 = exp.series_named("GigE 256x256")
+    gige512 = exp.series_named("GigE 512x512")
+
+    # INIC near-linear at the far end (within 2x of ideal).
+    assert inic256.at(16) > 8.0
+    assert inic512.at(16) > 8.0
+    # INIC keeps rising the whole way.
+    assert shape_summary(inic512)["rising_fraction"] == 1.0
+
+    # GigE clearly below INIC at scale.
+    assert gige256.at(16) < 0.5 * inic256.at(16)
+    assert gige512.at(16) < 0.75 * inic512.at(16)
+
+    # The small matrix scales worse on GigE (per-message overheads bite).
+    assert gige256.at(16) < gige512.at(16)
+
+    # GigE flattens: its last doubling of P gains far less than 2x.
+    assert gige256.at(16) / gige256.at(8) < 1.5

@@ -1,0 +1,42 @@
+"""Figure 4(b): decomposition of transpose time vs partition size.
+
+Paper shape: "the line representing partition size has a steeper slope
+than the one representing communication time" — GigE comm time fails to
+shrink with the partition; the compute curve scales ~1/P with cache-fit
+kinks; the INIC transpose shrinks with the partition and undercuts the
+NIC comm time at scale.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig4b
+from repro.bench.harness import Scale, render_table
+
+
+def _log_slope(series, x0, x1):
+    import math
+
+    return math.log(series.at(x1) / series.at(x0)) / math.log(x1 / x0)
+
+
+def test_fig4b_decomposition(benchmark):
+    scale = Scale.paper()
+    exp = run_once(benchmark, fig4b, scale)
+    print()
+    print(render_table(exp))
+
+    comm = exp.series_named("NIC comm time (ms)")
+    compute = exp.series_named("NIC compute time (ms)")
+    inic = exp.series_named("INIC transpose (ms)")
+    part = exp.series_named("partition (KiB)")
+
+    # Partition size halves with every doubling of P: slope exactly -1.
+    assert abs(_log_slope(part, 2, 16) + 1.0) < 1e-9
+    # GigE comm time falls much more slowly than the partition.
+    assert _log_slope(comm, 2, 16) > -0.5
+    # INIC transpose tracks the partition much more closely.
+    assert _log_slope(inic, 2, 16) < -0.8
+    # At scale the INIC transpose is well under the NIC's comm time.
+    assert inic.at(16) < 0.7 * comm.at(16)
+    # Compute time scales down ~1/P.
+    assert compute.at(2) / compute.at(16) > 8.0

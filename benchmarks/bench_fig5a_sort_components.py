@@ -1,0 +1,37 @@
+"""Figure 5(a): integer-sort component times vs processors.
+
+Paper shape (at E ~ 48 * 2^20 uniform keys): serial count sort ~2.3 s,
+serial bucket sort "over 5 seconds"; both host phases fall as 1/P while
+communication time flattens (per-message overheads), and the partition
+axis tops out near 200,000 KB.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig5a
+from repro.bench.harness import Scale, render_table
+
+
+def test_fig5a_components(benchmark):
+    scale = Scale.paper()
+    exp = run_once(benchmark, fig5a, scale)
+    print()
+    print(render_table(exp))
+
+    count = exp.series_named("count sort (ms)")
+    ph1 = exp.series_named("phase1 bucket (ms)")
+    ph2 = exp.series_named("phase2 bucket (ms)")
+    comm = exp.series_named("communication (ms)")
+    part = exp.series_named("partition (KiB)")
+
+    # Serial anchors from the paper's text.
+    assert 1800 < count.at(1) < 2800  # ~2.3 s count sort
+    assert ph1.at(1) + ph2.at(1) > 5000  # bucket sorting "over 5 seconds"
+    assert 150_000 < part.at(1) < 250_000  # ~200,000 KB partition axis
+
+    # Host phases scale ~1/P.
+    assert count.at(1) / count.at(16) > 12
+    assert ph1.at(1) / ph1.at(16) > 12
+
+    # Communication refuses to scale the same way.
+    assert comm.at(2) / comm.at(16) < 8

@@ -1,0 +1,33 @@
+"""Figure 5(b): analytic integer-sort speedups — ideal INIC vs GigE.
+
+Paper shape: "The superlinear speedups achieved by the INIC
+implementation is attributable to the elimination of the time for
+bucket sorting the data (over 5 seconds in the serial implementation)";
+the GigE curve is distinctly sublinear.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig5b
+from repro.bench.harness import Scale, render_table
+
+
+def test_fig5b_speedups(benchmark):
+    scale = Scale.paper()
+    exp = run_once(benchmark, fig5b, scale)
+    print()
+    print(render_table(exp))
+
+    inic = exp.series_named("INIC")
+    gige = exp.series_named("GigE")
+
+    # INIC superlinear: speedup beats the processor count.
+    for p in (2, 4, 8, 16):
+        assert inic.at(p) > p, f"INIC not superlinear at P={p}"
+
+    # GigE sublinear everywhere.
+    for p in (4, 8, 16):
+        assert gige.at(p) < p
+
+    # And the INIC wins big at scale.
+    assert inic.at(16) > 2 * gige.at(16)

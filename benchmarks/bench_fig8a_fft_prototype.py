@@ -1,0 +1,40 @@
+"""Figure 8(a): simulated 2D-FFT speedups — FE vs GigE vs prototype INIC.
+
+Full discrete-event simulation runs (the paper's measured section).
+Paper shape: Fast Ethernet needs many nodes to merely beat one
+processor; Gigabit Ethernet does better but "would hardly be considered
+scalable"; the prototype INIC sits clearly above both on the same
+Gigabit hardware.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig8a
+from repro.bench.harness import Scale, render_table
+
+
+def test_fig8a_prototype_fft(benchmark, bench_scale: Scale):
+    exp = run_once(benchmark, fig8a, bench_scale)
+    print()
+    print(render_table(exp))
+    rows = bench_scale.fft_sizes[0]
+
+    proto = exp.series_named(f"proto INIC {rows}")
+    fe = exp.series_named(f"Fast Ethernet {rows}")
+    gige = exp.series_named(f"GigE {rows}")
+
+    # Fast Ethernet is crippled: below break-even on few nodes, and far
+    # from linear at scale.
+    assert fe.at(2) < 1.0
+    assert fe.at(16) < 0.25 * 16
+
+    # GigE better than FE but not scalable (paper: ~2 at 8, ~4 peak).
+    assert gige.at(8) > fe.at(8)
+    assert gige.at(16) < 0.6 * 16
+
+    # The prototype INIC beats GigE on the same network hardware where
+    # scalability matters (the paper's curves are close below P=8).
+    assert proto.at(4) > 0.8 * gige.at(4)
+    for p in (8, 16):
+        assert proto.at(p) > gige.at(p), f"prototype not ahead at P={p}"
+    assert proto.at(16) > 1.3 * gige.at(16)

@@ -1,0 +1,29 @@
+"""Figure 8(b): simulated integer-sort speedups — prototype INIC vs GigE.
+
+Paper shape: the prototype INIC beats Gigabit Ethernet despite "the bus
+bandwidth on the card and the need to perform a second stage bucket
+sort on the receiving host"; the GigE curve is sublinear.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig8b
+from repro.bench.harness import Scale, render_table
+
+
+def test_fig8b_prototype_sort(benchmark, bench_scale: Scale):
+    exp = run_once(benchmark, fig8b, bench_scale)
+    print()
+    print(render_table(exp))
+
+    proto = exp.series_named("proto INIC")
+    gige = exp.series_named("GigE")
+
+    # Prototype INIC above GigE at every measured P.
+    for p in (2, 4, 8, 16):
+        assert proto.at(p) > gige.at(p), f"prototype not ahead at P={p}"
+
+    # GigE sublinear at scale; prototype at least near-linear (the card
+    # still eliminates the host bucket phases).
+    assert gige.at(16) < 16
+    assert proto.at(16) > 0.8 * 16

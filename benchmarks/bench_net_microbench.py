@@ -1,0 +1,68 @@
+"""Netperf-style microbenchmarks: the Section-2 protocol-processor
+claims ("more features ... higher bandwidth, and lower latency than
+current commodity network subsystems") quantified head to head.
+"""
+
+from conftest import run_once
+
+from repro.apps.netbench import inic_pingpong, inic_stream, tcp_pingpong, tcp_stream
+from repro.inic import ACEII_PROTOTYPE
+
+
+def test_latency_tcp_vs_inic(benchmark):
+    def measure():
+        tcp = tcp_pingpong(nbytes=64, repetitions=10)
+        inic = inic_pingpong(nbytes=64, repetitions=10)
+        return tcp, inic
+
+    tcp, inic = run_once(benchmark, measure)
+    print(f"\n64B one-way latency: TCP {tcp.latency * 1e6:.1f} us "
+          f"vs INIC {inic.latency * 1e6:.1f} us "
+          f"({tcp.latency / inic.latency:.1f}x)")
+    assert inic.latency < tcp.latency
+
+
+def test_bandwidth_tcp_vs_inic(benchmark):
+    def measure():
+        tcp = tcp_stream(nbytes=2 << 20, repetitions=2)
+        inic = inic_stream(nbytes=2 << 20, repetitions=2)
+        return tcp, inic
+
+    tcp, inic = run_once(benchmark, measure)
+    print(f"\nbulk bandwidth: TCP {tcp.bandwidth / 1e6:.1f} MB/s "
+          f"vs INIC {inic.bandwidth / 1e6:.1f} MB/s")
+    assert inic.bandwidth > tcp.bandwidth
+
+
+def test_prototype_card_bandwidth(benchmark):
+    """The ACEII's shared bus caps its protocol-mode bandwidth well
+    below the ideal card's."""
+    def measure():
+        ideal = inic_stream(nbytes=2 << 20, repetitions=2)
+        proto = inic_stream(nbytes=2 << 20, repetitions=2, card=ACEII_PROTOTYPE)
+        return ideal, proto
+
+    ideal, proto = run_once(benchmark, measure)
+    print(f"\nINIC stream: ideal {ideal.bandwidth / 1e6:.1f} MB/s "
+          f"vs prototype {proto.bandwidth / 1e6:.1f} MB/s")
+    assert proto.bandwidth < ideal.bandwidth
+
+
+def test_latency_size_sweep(benchmark):
+    """Latency vs message size: the INIC advantage is biggest for the
+    short messages TCP's mitigation/slow-start hurt most."""
+    def measure():
+        rows = []
+        for nbytes in (64, 1024, 16 * 1024):
+            tcp = tcp_pingpong(nbytes=nbytes, repetitions=5)
+            inic = inic_pingpong(nbytes=nbytes, repetitions=5)
+            rows.append((nbytes, tcp.latency, inic.latency))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print()
+    for nbytes, t_tcp, t_inic in rows:
+        print(f"  {nbytes:>6} B: TCP {t_tcp * 1e6:8.1f} us | "
+              f"INIC {t_inic * 1e6:8.1f} us | {t_tcp / t_inic:5.1f}x")
+    ratios = [t_tcp / t_inic for _, t_tcp, t_inic in rows]
+    assert ratios[0] > ratios[-1]  # small messages gain most

@@ -1,0 +1,125 @@
+"""Section 4.1's protocol arguments, measured in the DES.
+
+* "modern systems are incapable of handling an interrupt per packet at
+  the full data rate of Gigabit Ethernet" -> the baseline NIC raises
+  one cause per frame; mitigation trades them against latency.
+* "the virtual elimination of interrupts from the communication path"
+  -> the INIC raises ONE completion interrupt per operation.
+* "acknowledgement packets and per packet protocol overhead need not
+  consume system bandwidth" -> byte accounting on the host PCI bus.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.apps.fft import baseline_fft2d, inic_fft2d
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import build_acc
+from repro.inic import ACEII_PROTOTYPE
+
+ROWS = 128
+P = 4
+
+
+def _matrix():
+    g = np.random.default_rng(5)
+    return g.standard_normal((ROWS, ROWS)) + 1j * g.standard_normal((ROWS, ROWS))
+
+
+def _run_baseline():
+    cluster = Cluster.build(ClusterSpec(n_nodes=P))
+    _, res = baseline_fft2d(cluster, _matrix())
+    return cluster, res
+
+
+def _run_inic():
+    cluster, manager = build_acc(P, card=ACEII_PROTOTYPE)
+    _, res = inic_fft2d(cluster, manager, _matrix())
+    return cluster, manager, res
+
+
+def test_baseline_interrupt_load(benchmark):
+    cluster, res = run_once(benchmark, _run_baseline)
+    causes = sum(n.nic.irq.causes_raised for n in cluster.nodes)
+    frames = sum(n.nic.stats.rx_frames for n in cluster.nodes)
+    print(f"\nbaseline: {causes} interrupt causes for {frames} frames")
+    # One cause per received frame, by construction of a dumb NIC.
+    assert causes == frames
+    assert causes > 100
+
+
+def test_inic_interrupt_elimination(benchmark):
+    cluster, manager, res = run_once(benchmark, _run_inic)
+    completions = manager.total_completion_interrupts()
+    frames = sum(n.require_inic().stats.frames_received for n in cluster.nodes)
+    print(f"\nINIC: {completions} completion interrupts for {frames} frames")
+    # One interrupt per transpose per node — two transposes — while the
+    # wire carried tens of packets per completion.
+    assert completions == 2 * P
+    assert frames >= 40 * completions
+
+
+def test_host_cpu_interrupt_time_ratio():
+    """Interrupt theft on the host: baseline pays per frame, INIC ~zero."""
+    base_cluster, _ = _run_baseline()
+    inic_cluster, _, _ = _run_inic()
+    base_irq = sum(n.cpu.interrupt_time for n in base_cluster.nodes)
+    inic_irq = sum(n.cpu.interrupt_time for n in inic_cluster.nodes)
+    print(f"\nhost interrupt time: baseline {base_irq:.2e}s vs INIC {inic_irq:.2e}s")
+    assert base_irq > 10 * inic_irq
+
+
+def test_ack_and_header_bandwidth_tax():
+    """TCP moves more wire bytes than payload (headers + ACKs); the
+    INIC protocol's overhead is materially smaller."""
+    base_cluster, _ = _run_baseline()
+    payload = ROWS * ROWS * 16 / P * (P - 1)  # remote bytes per transpose
+    wire = sum(n.nic.stats.tx_bytes for n in base_cluster.nodes) / 2  # two transposes
+    tcp_overhead = wire / ((P) * payload)
+
+    inic_cluster, _, _ = _run_inic()
+    inic_wire = (
+        sum(n.require_inic().stats.bytes_egressed for n in inic_cluster.nodes) / 2
+    )
+    inic_overhead = inic_wire / (P * payload)
+    print(f"\nwire/payload: tcp {tcp_overhead:.3f} vs inic {inic_overhead:.3f}")
+    assert tcp_overhead > inic_overhead
+
+
+@pytest.mark.parametrize("delay_us", [0, 70, 300])
+def test_coalescing_latency_tradeoff(benchmark, delay_us):
+    """Mitigation reduces interrupts but delays short messages — the
+    interaction Section 4.1 blames for TCP's short-message pain."""
+    from repro.cluster import NodeHardware
+    from repro.hw import CoalescePolicy
+
+    hw = NodeHardware(
+        coalesce=CoalescePolicy(delay=delay_us * 1e-6, max_frames=10)
+        if delay_us
+        else CoalescePolicy()
+    )
+    cluster = Cluster.build(ClusterSpec(n_nodes=2, node=hw))
+    from repro.cluster import ParallelApp
+
+    app = ParallelApp(cluster)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, 8 * 1024, tag=1)
+            yield ctx.recv(src=1, tag=2)
+        else:
+            yield ctx.recv(src=0, tag=1)
+            yield ctx.send(0, 8 * 1024, tag=2)
+        return None
+
+    def go():
+        return app.run(program).makespan
+
+    makespan = benchmark.pedantic(go, rounds=1, iterations=1)
+    causes = cluster.nodes[0].nic.irq.causes_raised
+    delivered = cluster.nodes[0].nic.irq.interrupts_delivered
+    print(f"\ndelay={delay_us}us: rtt={makespan * 1e6:.0f}us, "
+          f"{delivered} irqs for {causes} causes")
+    assert makespan > 0

@@ -1,0 +1,26 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark runs its experiment once (``pedantic`` with one round):
+these are *reproduction* harnesses whose output is a figure's worth of
+series, not microbenchmarks hunting nanoseconds.  The rendered table is
+printed so ``pytest benchmarks/ --benchmark-only -s`` shows the curves.
+"""
+
+import pytest
+
+from repro.bench.harness import Scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    return Scale.bench()
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> Scale:
+    return Scale.paper()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Compute-accelerator mode as a work farm (Section 2, mode 1 / the
+Tower-of-Power configuration the paper cites).
+
+A bag of independent streaming kernels (prefix sums over vectors) is
+distributed across the cluster.  The baseline computes on host CPUs;
+the ACC runs each item through its node's card — DMA in, streaming
+kernel, DMA out, one completion interrupt — leaving the hosts nearly
+idle for other work (the paper's point: "a separate path to host
+memory is configured to allow normal network operations").
+
+Run:  python examples/compute_farm.py [--items 32] [--size 65536] [--procs 8]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apps.compute import host_map, inic_map
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import build_acc
+from repro.units import fmt_time
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--items", type=int, default=32)
+    ap.add_argument("--size", type=int, default=65536)
+    ap.add_argument("--procs", type=int, default=8)
+    args = ap.parse_args()
+
+    rng = np.random.default_rng(17)
+    items = [rng.standard_normal(args.size) for _ in range(args.items)]
+    kernel = np.cumsum
+
+    cluster = Cluster.build(ClusterSpec(n_nodes=args.procs))
+    # a compute-heavy streaming kernel class (~48 flops/byte, e.g.
+    # multi-tap filtering) — the regime FPGA offload targets
+    host_out, host_res = host_map(cluster, kernel, items, flops_per_byte=48.0)
+    host_busy = sum(n.cpu.busy_time for n in cluster.nodes)
+
+    acc, manager = build_acc(args.procs)
+    inic_out, inic_res = inic_map(acc, manager, kernel, items)
+    inic_busy = sum(n.cpu.busy_time for n in acc.nodes)
+
+    for a, b in zip(host_out, inic_out):
+        assert np.array_equal(a, b)
+
+    print(f"{args.items} prefix-sum kernels over {args.size}-element vectors, "
+          f"{args.procs} nodes")
+    print(f"  host CPUs   : {fmt_time(host_res.makespan)} "
+          f"(host busy {fmt_time(host_busy)})")
+    print(f"  INIC cards  : {fmt_time(inic_res.makespan)} "
+          f"(host busy {fmt_time(inic_busy)})")
+    print(f"  completion interrupts: {manager.total_completion_interrupts()} "
+          f"(one per item)")
+    print("results identical on both paths: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The paper's 2-D FFT experiment, end to end (Figures 4(a)/8(a)).
+
+Sweeps processor counts for one matrix size over three architectures —
+Fast Ethernet, Gigabit Ethernet, and the prototype INIC — printing a
+speedup table in the shape of Figure 8(a), plus the ideal-INIC analytic
+prediction of Figure 4(a) alongside.
+
+Run:  python examples/fft_2d_offload.py [--rows 256] [--procs 1 2 4 8 16]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apps.fft import baseline_fft2d, fft2d, inic_fft2d
+from repro.cluster import Cluster, ClusterSpec, athlon_node
+from repro.core import build_acc
+from repro.inic import ACEII_PROTOTYPE
+from repro.models import inic_fft_time, serial_fft_time
+from repro.net import FAST_ETHERNET
+
+
+def run(rows: int, procs: list[int]) -> None:
+    rng = np.random.default_rng(7)
+    matrix = rng.standard_normal((rows, rows)) + 1j * rng.standard_normal((rows, rows))
+    oracle = fft2d(matrix)
+    hierarchy = athlon_node().hierarchy()
+
+    # Serial reference: the P=1 baseline run.
+    serial_cluster = Cluster.build(ClusterSpec(n_nodes=1))
+    _, serial = baseline_fft2d(serial_cluster, matrix)
+    t1 = serial.makespan
+    t1_model = serial_fft_time(rows, hierarchy)
+
+    print(f"{rows}x{rows} 2-D FFT; serial reference {t1 * 1000:.1f} ms "
+          f"(analytic {t1_model * 1000:.1f} ms)")
+    header = f"{'P':>4} | {'FastEth':>8} | {'GigE':>8} | {'protoINIC':>9} | {'idealINIC*':>10}"
+    print(header)
+    print("-" * len(header))
+
+    for p in procs:
+        if rows % p:
+            continue
+        if p == 1:
+            fe = ge = proto = 1.0
+        else:
+            fe_cluster = Cluster.build(ClusterSpec(n_nodes=p, network=FAST_ETHERNET))
+            _, fe_res = baseline_fft2d(fe_cluster, matrix)
+            ge_cluster = Cluster.build(ClusterSpec(n_nodes=p))
+            _, ge_res = baseline_fft2d(ge_cluster, matrix)
+            acc, manager = build_acc(p, card=ACEII_PROTOTYPE)
+            out, proto_res = inic_fft2d(acc, manager, matrix)
+            assert np.allclose(out, oracle, atol=1e-8)
+            fe = t1 / fe_res.makespan
+            ge = t1 / ge_res.makespan
+            proto = t1 / proto_res.makespan
+        ideal = t1_model / inic_fft_time(rows, p, hierarchy) if p > 1 else 1.0
+        print(f"{p:>4} | {fe:>8.2f} | {ge:>8.2f} | {proto:>9.2f} | {ideal:>10.2f}")
+
+    print("\n(*) ideal INIC from the Section-4 analytical model (Eqs. 3-10);")
+    print("    everything else is packet-level discrete-event simulation.")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=256)
+    ap.add_argument("--procs", type=int, nargs="*", default=[1, 2, 4, 8, 16])
+    args = ap.parse_args()
+    run(args.rows, args.procs)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "A Reconfigurable Extension to the Network
+Interface of Beowulf Clusters" (CLUSTER 2001).
+
+The package simulates an Adaptable Computing Cluster: Beowulf nodes
+whose network interfaces carry FPGA-based reconfigurable computing
+(Intelligent NICs).  Start here::
+
+    from repro.core import build_acc, build_beowulf
+    from repro.apps.fft import baseline_fft2d, inic_fft2d
+    from repro.apps.sort import baseline_sort, inic_sort
+
+Layers (see DESIGN.md for the full map):
+
+* :mod:`repro.sim`       — discrete-event simulation kernel
+* :mod:`repro.hw`        — node hardware (CPU, caches, DMA, PCI)
+* :mod:`repro.net`       — Ethernet substrate (wires, switch, NICs)
+* :mod:`repro.protocols` — TCP baseline + the INIC custom protocol
+* :mod:`repro.inic`      — the reconfigurable card and its stream cores
+* :mod:`repro.core`      — the offload framework (the paper's contribution)
+* :mod:`repro.cluster`   — cluster assembly, SimMPI, collectives
+* :mod:`repro.apps`      — 2-D FFT, integer sort, and extensions
+* :mod:`repro.models`    — the paper's analytical models (Eqs. 3-17)
+* :mod:`repro.bench`     — per-figure reproduction harnesses
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "A Reconfigurable Extension to the Network Interface of Beowulf "
+    "Clusters, CLUSTER 2001"
+)

@@ -1,0 +1,25 @@
+"""Applications: 2-D FFT, integer sort, collectives, microbenchmarks."""
+
+from . import fft, sort
+from .collective import inic_allreduce
+from .compute import host_map, inic_map
+from .netbench import (
+    NetBenchResult,
+    inic_pingpong,
+    inic_stream,
+    tcp_pingpong,
+    tcp_stream,
+)
+
+__all__ = [
+    "NetBenchResult",
+    "fft",
+    "host_map",
+    "inic_allreduce",
+    "inic_map",
+    "inic_pingpong",
+    "inic_stream",
+    "sort",
+    "tcp_pingpong",
+    "tcp_stream",
+]

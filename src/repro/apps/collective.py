@@ -1,0 +1,117 @@
+"""INIC-offloaded collective operations (the paper's future work).
+
+Section 8: "...the potential to accelerate functions ranging from
+collective operations to MPI derived data types."  This module builds a
+cluster-wide **allreduce** from the card primitives:
+
+1. every rank scatters its contribution to rank 0 (the root's own
+   contribution loops back inside its card);
+2. the root's card *reduces each arriving stream into its accumulator
+   in the datapath* (:class:`~repro.inic.cores.collective.ReduceCore`) —
+   the host never touches the operands;
+3. the root broadcasts the result as a single switch-replicated frame
+   stream; every other card completes a one-source gather.
+
+Each host pays two descriptor posts and one completion interrupt —
+compare with the host-driven :func:`repro.cluster.collectives.allreduce`
+baseline, which moves every operand through host memory and the TCP
+stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.app import AppResult, ParallelApp
+from ..cluster.builder import Cluster
+from ..cluster.mpi import RankContext
+from ..core.design import collective_design
+from ..core.manager import INICManager
+from ..errors import ApplicationError
+from ..inic.card import SendBlock
+from ..net.addresses import BROADCAST, MacAddress
+from ..protocols.inicproto import TransferPlan
+
+__all__ = ["inic_allreduce"]
+
+_REDUCE_TAG = 0xA1
+_BCAST_TAG = 0xA2
+
+
+def inic_allreduce(
+    cluster: Cluster,
+    manager: INICManager,
+    contributions: list[np.ndarray],
+    op: str = "sum",
+    configure: bool = True,
+) -> tuple[np.ndarray, AppResult]:
+    """All-reduce ``contributions`` (one array per rank) on the cards.
+
+    Returns the reduced array (identical on every rank, also verified
+    inside) and the timing result.
+    """
+    p = cluster.size
+    if len(contributions) != p:
+        raise ApplicationError(f"need {p} contributions, got {len(contributions)}")
+    shape = contributions[0].shape
+    dtype = contributions[0].dtype
+    for c in contributions:
+        if c.shape != shape or c.dtype != dtype:
+            raise ApplicationError("contributions must agree in shape/dtype")
+    nbytes = int(contributions[0].nbytes)
+    element_bytes = contributions[0].dtype.itemsize
+    if configure:
+        manager.configure_all(lambda: collective_design(op, element_bytes))
+    # Incast safety: P-1 cards converge on the root's switch port, so the
+    # per-sender window must divide the port buffer among them.
+    buffer_bytes = cluster.spec.network.switch_buffer_per_port
+    window = max(
+        cluster.spec.inic.proto.packet_size,
+        int(min(cluster.spec.inic.flow_window, 0.75 * buffer_bytes / max(1, p - 1))),
+    )
+
+    def program(ctx: RankContext):
+        driver = manager.driver(ctx.rank)
+        card = driver.card
+        mine = contributions[ctx.rank]
+
+        if ctx.rank == 0:
+            # Root: reduce-gather from everyone (incl. own loopback).
+            plan = TransferPlan(
+                ctx.sim, {src: nbytes for src in range(p)}, name="allreduce.root"
+            )
+            gop = yield from driver.gather(
+                _REDUCE_TAG, plan, reduce_core=card.require_core(f"reduce-{op}")
+            )
+            yield from driver.scatter(
+                _REDUCE_TAG,
+                [SendBlock(MacAddress(0), nbytes, mine)],
+                window_bytes=window,
+            )
+            result = yield gop.done
+            if p > 1:
+                # Broadcast the reduced array to all peers in one pass.
+                sop = yield from driver.scatter(
+                    _BCAST_TAG, [SendBlock(BROADCAST, nbytes, result)]
+                )
+                yield sop.sent
+            return result
+
+        # Leaves: contribute, then await the broadcast.
+        plan = TransferPlan(ctx.sim, {0: nbytes}, name=f"allreduce.{ctx.rank}")
+        gop = yield from driver.gather(_BCAST_TAG, plan)
+        yield from driver.scatter(
+            _REDUCE_TAG,
+            [SendBlock(MacAddress(0), nbytes, mine)],
+            window_bytes=window,
+        )
+        payloads = yield gop.done
+        return payloads[0][-1]
+
+    app = ParallelApp(cluster)
+    result = app.run(program)
+    expected = result.rank_results[0]
+    for r, got in enumerate(result.rank_results):
+        if not np.array_equal(got, expected):
+            raise ApplicationError(f"rank {r} disagrees with the root's result")
+    return expected, result

@@ -1,0 +1,41 @@
+"""2-D FFT application: from-scratch kernels, baseline, INIC variant."""
+
+from .inic import inic_fft2d, inic_ifft2d, inic_transpose
+from .parallel import (
+    baseline_fft2d,
+    baseline_ifft2d,
+    distributed_transpose,
+    fft_row_pass,
+)
+from .plans import FFTPlan, clear_plan_cache, plan_dft
+from .serial import fft1d, fft2d, ifft1d, ifft2d, is_power_of_two
+from .transpose import (
+    extract_block,
+    gather_panels,
+    interleave_blocks,
+    split_rows,
+    transpose_block,
+)
+
+__all__ = [
+    "FFTPlan",
+    "baseline_fft2d",
+    "baseline_ifft2d",
+    "clear_plan_cache",
+    "distributed_transpose",
+    "extract_block",
+    "fft1d",
+    "fft2d",
+    "fft_row_pass",
+    "gather_panels",
+    "ifft1d",
+    "ifft2d",
+    "inic_fft2d",
+    "inic_ifft2d",
+    "inic_transpose",
+    "interleave_blocks",
+    "is_power_of_two",
+    "plan_dft",
+    "split_rows",
+    "transpose_block",
+]

@@ -1,0 +1,129 @@
+"""Baseline distributed 2-D FFT (FFTW-style over SimMPI/TCP).
+
+The exact four-step structure of Section 3.1.1:
+
+  1. compute the 1D-FFT for each local row          (host compute)
+  2. transpose the matrix                           (host + network)
+  3. compute the 1D-FFT for each row                (host compute)
+  4. transpose the matrix                           (host + network)
+
+with the transpose decomposed as Section 3.1.2 describes: host local
+transpose, TCP all-to-all, host final permutation.  Every phase is both
+*functional* (numpy really transforms the data) and *timed* (CPU costs
+from :mod:`repro.models.params`, network from the packet-level DES).
+
+Trace spans: ``fft-compute``, ``transpose-compute``, ``transpose-comm``
+— the decomposition Figure 4(b) plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cluster.app import AppResult, ParallelApp
+from ...cluster.builder import Cluster
+from ...cluster.collectives import alltoall
+from ...cluster.mpi import RankContext
+from ...errors import ApplicationError
+from ...models.params import (
+    DEFAULT_PARAMS,
+    MachineParams,
+    fft_compute_time,
+    interleave_time,
+    local_transpose_time,
+)
+from .plans import plan_dft
+from .serial import fft1d
+from .transpose import extract_block, interleave_blocks, split_rows, transpose_block
+
+__all__ = ["baseline_fft2d", "baseline_ifft2d", "distributed_transpose", "fft_row_pass"]
+
+
+def fft_row_pass(ctx: RankContext, panel: np.ndarray, params: MachineParams):
+    """Generator: one pass of row FFTs (timed + functional)."""
+    rows, n = panel.shape
+    plan = plan_dft(n)
+    cost = fft_compute_time(params, ctx.node.hierarchy, rows, n)
+    span = ctx.trace.open("fft-compute", rank=ctx.rank)
+    yield from ctx.compute(cost)
+    span.close()
+    return plan.execute(panel, axis=-1)
+
+
+def distributed_transpose(
+    ctx: RankContext, panel: np.ndarray, params: MachineParams
+):
+    """Generator: the three-part FFTW transpose over TCP."""
+    p = ctx.size
+    m, n = panel.shape
+    if n % p != 0 or n // p != m:
+        raise ApplicationError(
+            f"panel {panel.shape} is not a square-matrix row block over {p} ranks"
+        )
+    block_bytes = m * m * panel.dtype.itemsize
+
+    # Part 1: local transpose of each destination block (host).
+    span = ctx.trace.open("transpose-compute", rank=ctx.rank)
+    yield from ctx.compute(
+        local_transpose_time(params, ctx.node.hierarchy, panel.nbytes)
+    )
+    span.close()
+    blocks = [
+        (block_bytes, transpose_block(extract_block(panel, dst, p)))
+        for dst in range(p)
+    ]
+
+    # Part 2: all-to-all over the wire.
+    span = ctx.trace.open("transpose-comm", rank=ctx.rank)
+    received = yield from alltoall(ctx, blocks)
+    span.close()
+
+    # Part 3: final permutation (host interleave).
+    span = ctx.trace.open("transpose-compute", rank=ctx.rank)
+    yield from ctx.compute(
+        interleave_time(params, ctx.node.hierarchy, panel.nbytes)
+    )
+    span.close()
+    return interleave_blocks({src: received[src] for src in range(p)})
+
+
+def baseline_fft2d(
+    cluster: Cluster,
+    matrix: np.ndarray,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> tuple[np.ndarray, AppResult]:
+    """Run the four-step parallel 2-D FFT; returns (result, timing)."""
+    a = np.ascontiguousarray(matrix, dtype=np.complex128)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ApplicationError(f"need a square matrix, got {a.shape}")
+    p = cluster.size
+    panels = split_rows(a, p)
+
+    def program(ctx: RankContext):
+        panel = panels[ctx.rank].copy()
+        panel = yield from fft_row_pass(ctx, panel, params)  # step 1
+        panel = yield from distributed_transpose(ctx, panel, params)  # step 2
+        panel = yield from fft_row_pass(ctx, panel, params)  # step 3
+        panel = yield from distributed_transpose(ctx, panel, params)  # step 4
+        return panel
+
+    app = ParallelApp(cluster)
+    result = app.run(program)
+    full = np.vstack(result.rank_results)
+    return full, result
+
+
+def baseline_ifft2d(
+    cluster: Cluster,
+    matrix: np.ndarray,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> tuple[np.ndarray, AppResult]:
+    """Inverse 2-D FFT via conjugation: ifft(x) = conj(fft(conj(x)))/n^2.
+
+    Reuses the full forward distributed pipeline (identical cost), so
+    inverse transforms inherit every offload/baseline property.
+    """
+    a = np.ascontiguousarray(matrix, dtype=np.complex128)
+    out, result = baseline_fft2d(cluster, np.conj(a), params)
+    n = a.shape[0] * a.shape[1] if a.ndim == 2 else 0
+    return np.conj(out) / n, result

@@ -1,0 +1,59 @@
+"""FFT planning: cached twiddles/permutations and cost estimation.
+
+FFTW's defining trait is the *plan* — per-size precomputation reused
+across executions.  Our kernel's per-size artifacts (bit-reversal
+permutation, twiddle ladder) are cached here, and the plan carries the
+flop count used by the simulation cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ApplicationError
+from ...models.params import fft_row_flops
+from .serial import fft1d, is_power_of_two
+
+__all__ = ["FFTPlan", "plan_dft", "clear_plan_cache"]
+
+_cache: dict[int, "FFTPlan"] = {}
+
+
+@dataclass(frozen=True)
+class FFTPlan:
+    """A reusable 1-D transform plan."""
+
+    n: int
+    flops: float
+    radix2: bool
+
+    def execute(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        a = np.asarray(x)
+        if a.shape[axis] != self.n:
+            raise ApplicationError(
+                f"plan is for n={self.n}, data axis has {a.shape[axis]}"
+            )
+        return fft1d(a, axis=axis)
+
+    def rows_flops(self, rows: int) -> float:
+        """Flop count for transforming ``rows`` rows with this plan."""
+        return rows * self.flops
+
+
+def plan_dft(n: int) -> FFTPlan:
+    """Create (or fetch) the plan for n-point transforms."""
+    if n < 1:
+        raise ApplicationError(f"cannot plan a {n}-point transform")
+    plan = _cache.get(n)
+    if plan is None:
+        # Bluestein pads to >= 2n, roughly tripling the work.
+        overhead = 1.0 if is_power_of_two(n) else 3.0
+        plan = FFTPlan(n=n, flops=overhead * fft_row_flops(n), radix2=is_power_of_two(n))
+        _cache[n] = plan
+    return plan
+
+
+def clear_plan_cache() -> None:
+    _cache.clear()

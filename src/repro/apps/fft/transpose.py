@@ -1,0 +1,77 @@
+"""Distributed-matrix transpose kernels (host-side, functional).
+
+The FFTW-style distributed transpose (Section 3.1.2) in three parts:
+
+1. **local transpose** — each node splits its (M x N) panel into P
+   blocks of M columns and transposes each (M = N / P);
+2. **all-to-all** — block p goes to node p;
+3. **final permutation** — received blocks are interleaved into the
+   local panel of the transposed matrix.
+
+These are the *baseline host* kernels; the INIC implementation performs
+the same transforms inside the card via
+:mod:`repro.inic.cores.transpose` / :mod:`repro.inic.cores.permute`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ApplicationError
+
+__all__ = [
+    "split_rows",
+    "extract_block",
+    "transpose_block",
+    "interleave_blocks",
+    "gather_panels",
+]
+
+
+def split_rows(matrix: np.ndarray, p: int) -> list[np.ndarray]:
+    """Row-block distribution: panel r holds rows r*M .. (r+1)*M."""
+    n = matrix.shape[0]
+    if n % p != 0:
+        raise ApplicationError(f"{n} rows do not distribute over {p} ranks")
+    m = n // p
+    return [np.ascontiguousarray(matrix[r * m : (r + 1) * m]) for r in range(p)]
+
+
+def extract_block(panel: np.ndarray, dst: int, p: int) -> np.ndarray:
+    """Destination ``dst``'s column block of a local panel."""
+    m, n = panel.shape
+    if n % p != 0:
+        raise ApplicationError(f"{n} columns do not split into {p} blocks")
+    w = n // p
+    return panel[:, dst * w : (dst + 1) * w]
+
+
+def transpose_block(block: np.ndarray) -> np.ndarray:
+    """Local transpose of one (square) block."""
+    if block.ndim != 2 or block.shape[0] != block.shape[1]:
+        raise ApplicationError(f"expected a square block, got {block.shape}")
+    return np.ascontiguousarray(block.T)
+
+
+def interleave_blocks(blocks_by_source: dict[int, np.ndarray]) -> np.ndarray:
+    """Final permutation: source p's block becomes column band p."""
+    if not blocks_by_source:
+        raise ApplicationError("no blocks to interleave")
+    p = len(blocks_by_source)
+    if sorted(blocks_by_source) != list(range(p)):
+        raise ApplicationError(f"expected sources 0..{p - 1}")
+    m = blocks_by_source[0].shape[0]
+    out = np.empty((m, m * p), dtype=blocks_by_source[0].dtype)
+    for src in range(p):
+        blk = blocks_by_source[src]
+        if blk.shape != (m, m):
+            raise ApplicationError(f"block {src} has shape {blk.shape}")
+        out[:, src * m : (src + 1) * m] = blk
+    return out
+
+
+def gather_panels(panels: list[np.ndarray]) -> np.ndarray:
+    """Reassemble the full matrix from per-rank row panels."""
+    if not panels:
+        raise ApplicationError("no panels to gather")
+    return np.vstack(panels)

@@ -1,0 +1,41 @@
+"""Integer-sort application: kernels, baseline, INIC variant."""
+
+from .bucketsort import (
+    cache_bucket_count,
+    phase1_destination_buckets,
+    phase2_cache_buckets,
+    split_by_bits,
+)
+from .countsort import count_sort, counting_pass, digit_histogram, is_sorted
+from .inic import inic_sort
+from .keygen import gaussian_keys, split_keys, uniform_keys
+from .parallel import baseline_sort, host_final_sort
+from .quicksort import quicksort
+from .sampling import (
+    choose_splitters,
+    imbalance,
+    sample_local,
+    split_by_splitters,
+)
+
+__all__ = [
+    "baseline_sort",
+    "cache_bucket_count",
+    "count_sort",
+    "counting_pass",
+    "digit_histogram",
+    "gaussian_keys",
+    "host_final_sort",
+    "inic_sort",
+    "is_sorted",
+    "phase1_destination_buckets",
+    "phase2_cache_buckets",
+    "quicksort",
+    "choose_splitters",
+    "imbalance",
+    "sample_local",
+    "split_by_splitters",
+    "split_by_bits",
+    "split_keys",
+    "uniform_keys",
+]

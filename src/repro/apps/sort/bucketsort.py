@@ -1,0 +1,85 @@
+"""Host-side bucket-sort kernels.
+
+Two uses in the paper's sort (Section 3.2):
+
+* **phase 1** — bin local keys into P destination buckets by their top
+  ``log2 P`` bits (bucket i goes to processor i);
+* **phase 2** — bin received keys into cache-sized buckets before count
+  sort ("it is important to first bucket sort the data such that the
+  buckets fit in the processor cache"); on the prototype the card only
+  pre-bins 16 ways and the host refines each 16th into N buckets
+  (Section 6's two-phase scheme).
+
+``split_by_bits`` is the shared kernel: bin by ``n_buckets`` consecutive
+key bits starting below ``start_bit`` leading bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ApplicationError
+
+__all__ = [
+    "split_by_bits",
+    "phase1_destination_buckets",
+    "phase2_cache_buckets",
+    "cache_bucket_count",
+]
+
+
+def _check_pow2(n: int, what: str) -> int:
+    if n < 1 or n & (n - 1):
+        raise ApplicationError(f"{what} must be a power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def split_by_bits(
+    keys: np.ndarray, start_bit: int, n_buckets: int
+) -> list[np.ndarray]:
+    """Stable-bin ``keys`` by ``log2(n_buckets)`` bits after skipping the
+    ``start_bit`` most significant bits."""
+    a = np.asarray(keys)
+    if a.dtype != np.uint32:
+        raise ApplicationError(f"expected uint32 keys, got {a.dtype}")
+    bits = _check_pow2(n_buckets, "bucket count")
+    if start_bit < 0 or start_bit + bits > 32:
+        raise ApplicationError(
+            f"bit window [{start_bit}, {start_bit + bits}) outside 32-bit keys"
+        )
+    if bits == 0:
+        return [a.copy()]
+    shift = np.uint32(32 - start_bit - bits)
+    idx = ((a >> shift) & np.uint32(n_buckets - 1)).astype(np.int64)
+    order = np.argsort(idx, kind="stable")
+    binned = a[order]
+    counts = np.bincount(idx, minlength=n_buckets)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    return [binned[bounds[b] : bounds[b + 1]] for b in range(n_buckets)]
+
+
+def phase1_destination_buckets(keys: np.ndarray, p: int) -> list[np.ndarray]:
+    """Bucket i of the result belongs on processor i."""
+    return split_by_bits(keys, 0, p)
+
+
+def phase2_cache_buckets(
+    keys: np.ndarray, p: int, n_buckets: int
+) -> list[np.ndarray]:
+    """Refine a processor's keys (which share their top log2 P bits)
+    into ``n_buckets`` cache-fit buckets."""
+    return split_by_bits(keys, _check_pow2(p, "processor count"), n_buckets)
+
+
+def cache_bucket_count(n_keys: int, keys_per_bucket: int, minimum: int = 128) -> int:
+    """Bucket count so each bucket fits cache (Section 3.2.1: at least
+    128 buckets from 2^21 keys up); power of two."""
+    if n_keys < 0 or keys_per_bucket < 1:
+        raise ApplicationError("bad cache-bucket sizing")
+    need = max(1, -(-n_keys // keys_per_bucket))
+    n = 1
+    while n < need:
+        n *= 2
+    if n_keys >= 2**21:
+        n = max(n, minimum)
+    return n

@@ -1,0 +1,26 @@
+"""Benchmark harness: figure definitions, scales, reporting, calibration."""
+
+from .calibration import KernelRates, compare_des_vs_model, measure_kernel_rates
+from .figures import all_figures, fig4a, fig4b, fig5a, fig5b, fig8a, fig8b
+from .harness import Experiment, Scale, render_all, render_table
+from .report import ascii_plot, shape_summary, to_markdown
+
+__all__ = [
+    "Experiment",
+    "KernelRates",
+    "Scale",
+    "all_figures",
+    "ascii_plot",
+    "compare_des_vs_model",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig8a",
+    "fig8b",
+    "measure_kernel_rates",
+    "render_all",
+    "render_table",
+    "shape_summary",
+    "to_markdown",
+]

@@ -1,0 +1,97 @@
+"""Calibration utilities.
+
+Two jobs:
+
+1. **Cross-check the DES against the analytic model** — the Section-4
+   equations and the packet-level simulation describe the same machine;
+   ``compare_des_vs_model`` quantifies their agreement so EXPERIMENTS.md
+   can report it (and so parameter drift gets caught by tests).
+
+2. **Measure this host's kernel rates** — the functional kernels (count
+   sort, bucket split, FFT) have wall-clock rates on the machine running
+   the simulation; ``measure_kernel_rates`` reports keys/s and flop/s so
+   readers can relate simulated 2001 times to what they see locally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.fft.serial import fft1d
+from ..apps.sort.bucketsort import split_by_bits
+from ..apps.sort.countsort import count_sort
+from ..apps.sort.quicksort import quicksort
+from ..cluster.builder import athlon_node
+from ..errors import CalibrationError
+from ..models.fft_model import inic_fft_time
+from ..models.gige_model import gige_fft_time
+from ..models.params import DEFAULT_PARAMS, fft_row_flops
+
+__all__ = ["KernelRates", "measure_kernel_rates", "compare_des_vs_model"]
+
+
+@dataclass(frozen=True)
+class KernelRates:
+    """Wall-clock rates of the functional kernels on this host."""
+
+    count_sort_keys_per_s: float
+    quicksort_keys_per_s: float
+    bucket_split_keys_per_s: float
+    fft_flops_per_s: float
+
+    @property
+    def count_vs_quick(self) -> float:
+        """The Section-3.2 claim: count sort vs quicksort speed ratio."""
+        return self.count_sort_keys_per_s / self.quicksort_keys_per_s
+
+
+def _time_call(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def measure_kernel_rates(
+    n_keys: int = 1 << 18, fft_n: int = 1 << 12, fft_rows: int = 64, seed: int = 3
+) -> KernelRates:
+    """Measure the functional kernels (wall clock, this machine)."""
+    if n_keys < 1024 or fft_n < 16:
+        raise CalibrationError("calibration sizes too small to time")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**32, size=n_keys, dtype=np.uint32)
+    rows = rng.standard_normal((fft_rows, fft_n)) + 0j
+
+    t_count = _time_call(count_sort, keys)
+    t_quick = _time_call(quicksort, keys)
+    t_split = _time_call(split_by_bits, keys, 0, 128)
+    t_fft = _time_call(fft1d, rows)
+    flops = fft_rows * fft_row_flops(fft_n)
+    return KernelRates(
+        count_sort_keys_per_s=n_keys / t_count,
+        quicksort_keys_per_s=n_keys / t_quick,
+        bucket_split_keys_per_s=n_keys / t_split,
+        fft_flops_per_s=flops / t_fft,
+    )
+
+
+def compare_des_vs_model(
+    des_time: float, rows: int, p: int, arch: str = "gige"
+) -> float:
+    """Relative deviation of a DES measurement from the analytic model.
+
+    Returns ``(des - model) / model``; EXPERIMENTS.md reports these per
+    configuration, and tests assert the two stay within a band.
+    """
+    h = athlon_node().hierarchy()
+    if arch == "gige":
+        model = gige_fft_time(rows, p, h, DEFAULT_PARAMS)
+    elif arch == "inic":
+        model = inic_fft_time(rows, p, h, DEFAULT_PARAMS)
+    else:
+        raise CalibrationError(f"unknown arch {arch!r}")
+    if model <= 0:
+        raise CalibrationError("model produced non-positive time")
+    return (des_time - model) / model

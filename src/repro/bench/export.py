@@ -1,0 +1,36 @@
+"""Result export: CSV files for downstream plotting.
+
+``export_csv`` writes one CSV per experiment (long format: series, x,
+y) so any plotting tool can regenerate the paper's figures from the
+repository's output.  Used by the ``--csv`` flag of
+``python -m repro.bench.figures``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from ..errors import ApplicationError
+from .harness import Experiment
+
+__all__ = ["export_csv", "export_all_csv"]
+
+
+def export_csv(exp: Experiment, directory: str) -> str:
+    """Write ``<directory>/<exp_id>.csv``; returns the path."""
+    if not exp.series:
+        raise ApplicationError(f"{exp.exp_id}: nothing to export")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{exp.exp_id}.csv")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["experiment", "title", "series", exp.x_label, exp.y_label])
+        for s in exp.series:
+            for x, y in zip(s.x, s.y):
+                writer.writerow([exp.exp_id, exp.title, s.name, repr(x), repr(y)])
+    return path
+
+
+def export_all_csv(experiments: list[Experiment], directory: str) -> list[str]:
+    return [export_csv(e, directory) for e in experiments]

@@ -1,0 +1,315 @@
+"""One reproduction function per paper figure panel.
+
+Methodology mirrors the paper's:
+
+* **Figures 4 and 5** come from the Section-4 *analytical model*
+  (Eqs. 3-17) with the calibrated baseline closed form as opponent —
+  exactly what the paper plots in its analysis section.
+* **Figure 8** comes from full *discrete-event simulation* runs of the
+  prototype (Fast Ethernet and Gigabit Ethernet baselines over TCP;
+  the ACEII-prototype INIC), as the paper's Section 6 measures/estimates
+  on real hardware.
+
+Every function returns an :class:`~repro.bench.harness.Experiment`
+whose series print as paper-style rows via ``render_table``.
+
+Run the full suite from the command line::
+
+    python -m repro.bench.figures --scale paper
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apps.fft import baseline_fft2d, inic_fft2d
+from ..apps.sort import baseline_sort, inic_sort
+from ..cluster.builder import Cluster, ClusterSpec, athlon_node
+from ..core.api import build_acc
+from ..inic.card import ACEII_PROTOTYPE, CardSpec, IDEAL_INIC
+from ..models.fft_model import (
+    fft_compute_total,
+    inic_fft_time,
+    inic_transpose_time,
+    partition_bytes,
+    serial_fft_time,
+)
+from ..models.gige_model import (
+    fe_fft_time,
+    gige_fft_time,
+    gige_sort_time,
+    tcp_alltoall_time,
+)
+from ..models.params import DEFAULT_PARAMS, MachineParams
+from ..models.sort_model import (
+    inic_sort_time,
+    serial_sort_time,
+    sort_component_series,
+)
+from ..models.speedup import Series, speedup_series
+from ..net.fabric import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkTechnology
+from ..units import seconds_to_ms
+from .harness import Experiment, Scale
+
+__all__ = [
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig8a",
+    "fig8b",
+    "all_figures",
+]
+
+_HIERARCHY = athlon_node().hierarchy()
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — FFT analysis
+# ---------------------------------------------------------------------------
+def fig4a(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
+    """Fig. 4(a): analytic FFTW speedups, INIC vs Gigabit Ethernet."""
+    exp = Experiment(
+        "fig4a",
+        "FFTW speedups: ideal INIC vs Gigabit Ethernet (analytical)",
+        "P",
+        "speedup over one processor",
+    )
+    for rows in scale.fft_sizes:
+        procs = [p for p in scale.fft_procs if rows % p == 0]
+        t1 = serial_fft_time(rows, _HIERARCHY, params)
+        inic_times = [
+            t1 if p == 1 else inic_fft_time(rows, p, _HIERARCHY, params)
+            for p in procs
+        ]
+        gige_times = [gige_fft_time(rows, p, _HIERARCHY, params) for p in procs]
+        exp.add(speedup_series(f"INIC {rows}x{rows}", procs, inic_times, t1))
+        exp.add(speedup_series(f"GigE {rows}x{rows}", procs, gige_times, t1))
+    exp.notes.append("INIC curves from Eqs. (3)-(10); GigE from calibrated TCP model")
+    return exp
+
+
+def fig4b(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
+    """Fig. 4(b): transpose decomposition vs partition size (largest
+    matrix of the scale)."""
+    rows = max(scale.fft_sizes)
+    procs = [p for p in scale.fft_procs if rows % p == 0]
+    exp = Experiment(
+        "fig4b",
+        f"transpose decomposition, {rows}x{rows}",
+        "P",
+        "milliseconds (partition in KiB)",
+    )
+    comm, compute, inic_t, part = [], [], [], []
+    for p in procs:
+        s = partition_bytes(rows, p, params)
+        comm.append(
+            seconds_to_ms(
+                2
+                * tcp_alltoall_time(
+                    s, p, params.gige_tcp_bulk_rate, params.gige_tcp_message_overhead
+                )
+            )
+        )
+        compute.append(seconds_to_ms(fft_compute_total(rows, p, _HIERARCHY, params)))
+        inic_t.append(seconds_to_ms(inic_transpose_time(rows, p, params)))
+        part.append(s / 1024.0)
+    x = [float(p) for p in procs]
+    exp.add(Series("NIC comm time (ms)", x, comm))
+    exp.add(Series("NIC compute time (ms)", x, compute))
+    exp.add(Series("INIC transpose (ms)", x, inic_t))
+    exp.add(Series("partition (KiB)", x, part))
+    exp.notes.append(
+        "partition size falls faster than NIC comm time; INIC transpose sits below it"
+    )
+    return exp
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — sort analysis
+# ---------------------------------------------------------------------------
+def _analytic_sort_keys(scale: Scale, params: MachineParams) -> int:
+    return params.sort_total_keys if scale.name == "paper" else scale.sort_keys
+
+
+def fig5a(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
+    """Fig. 5(a): sort phase times and partition size vs P."""
+    e_init = _analytic_sort_keys(scale, params)
+    procs = list(scale.sort_procs)
+    exp = Experiment(
+        "fig5a",
+        f"sort components, E = {e_init} keys",
+        "P",
+        "milliseconds (partition in KiB)",
+    )
+    pts = sort_component_series(e_init, procs, _HIERARCHY, params)
+    x = [float(p.p) for p in pts]
+    exp.add(Series("count sort (ms)", x, [seconds_to_ms(p.count_sort_time) for p in pts]))
+    exp.add(
+        Series("phase1 bucket (ms)", x, [seconds_to_ms(p.phase1_bucket_time) for p in pts])
+    )
+    exp.add(
+        Series("phase2 bucket (ms)", x, [seconds_to_ms(p.phase2_bucket_time) for p in pts])
+    )
+    comm = [
+        seconds_to_ms(
+            tcp_alltoall_time(
+                p.partition_kib * 1024.0,
+                int(p.p),
+                params.gige_tcp_bulk_rate,
+                params.gige_tcp_message_overhead,
+            )
+        )
+        for p in pts
+    ]
+    exp.add(Series("communication (ms)", x, comm))
+    exp.add(Series("partition (KiB)", x, [p.partition_kib for p in pts]))
+    return exp
+
+
+def fig5b(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
+    """Fig. 5(b): analytic sort speedups, INIC (superlinear) vs GigE."""
+    e_init = _analytic_sort_keys(scale, params)
+    procs = list(scale.sort_procs)
+    t1 = serial_sort_time(e_init, _HIERARCHY, params)
+    inic_times = [
+        t1 if p == 1 else inic_sort_time(e_init, p, _HIERARCHY, params) for p in procs
+    ]
+    gige_times = [gige_sort_time(e_init, p, _HIERARCHY, params) for p in procs]
+    exp = Experiment(
+        "fig5b",
+        f"integer-sort speedups, E = {e_init} keys (analytical)",
+        "P",
+        "speedup over one processor",
+    )
+    exp.add(speedup_series("INIC", procs, inic_times, t1))
+    exp.add(speedup_series("GigE", procs, gige_times, t1))
+    exp.notes.append(
+        "INIC superlinearity: host bucket-sort time is eliminated entirely"
+    )
+    return exp
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — prototype measurements (DES)
+# ---------------------------------------------------------------------------
+def _fft_des_time(
+    rows: int, p: int, network: NetworkTechnology, card: CardSpec | None, seed: int = 1
+) -> float:
+    g = np.random.default_rng(seed)
+    m = g.standard_normal((rows, rows)) + 1j * g.standard_normal((rows, rows))
+    if card is None:
+        cluster = Cluster.build(ClusterSpec(n_nodes=p, network=network))
+        _, res = baseline_fft2d(cluster, m)
+    else:
+        cluster, manager = build_acc(p, card=card, network=network)
+        _, res = inic_fft2d(cluster, manager, m)
+    return res.makespan
+
+
+def fig8a(scale: Scale) -> Experiment:
+    """Fig. 8(a): simulated 2D-FFT speedups on Fast Ethernet, Gigabit
+    Ethernet, and the prototype INIC."""
+    exp = Experiment(
+        "fig8a",
+        "2D-FFT speedup: Fast Ethernet vs GigE vs prototype INIC (DES)",
+        "P",
+        "speedup over one processor",
+    )
+    for rows in scale.fft_sizes:
+        procs = [p for p in scale.fft_procs if rows % p == 0]
+        t1 = _fft_des_time(rows, 1, GIGABIT_ETHERNET, None)
+        for label, network, card in (
+            ("proto INIC", GIGABIT_ETHERNET, ACEII_PROTOTYPE),
+            ("Fast Ethernet", FAST_ETHERNET, None),
+            ("GigE", GIGABIT_ETHERNET, None),
+        ):
+            # P=1 is the serial host run for every curve (speedup 1 by
+            # definition; nobody offloads a one-node transpose).
+            times = [
+                t1 if p == 1 else _fft_des_time(rows, p, network, card)
+                for p in procs
+            ]
+            exp.add(speedup_series(f"{label} {rows}", procs, times, t1))
+    exp.notes.append("all curves: discrete-event simulation, speedup vs 1-node run")
+    return exp
+
+
+def _sort_des_time(
+    e_init: int, p: int, card: CardSpec | None, seed: int = 2
+) -> float:
+    g = np.random.default_rng(seed)
+    keys = g.integers(0, 2**32, size=e_init, dtype=np.uint32)
+    if card is None:
+        cluster = Cluster.build(ClusterSpec(n_nodes=p))
+        _, res = baseline_sort(cluster, keys)
+    else:
+        cluster, manager = build_acc(p, card=card)
+        _, res = inic_sort(cluster, manager, keys)
+    return res.makespan
+
+
+def fig8b(scale: Scale) -> Experiment:
+    """Fig. 8(b): simulated integer-sort speedups, prototype INIC vs GigE."""
+    e_init = scale.sort_keys
+    procs = [p for p in scale.sort_procs if e_init % p == 0]
+    t1 = _sort_des_time(e_init, 1, None)
+    gige = [t1 if p == 1 else _sort_des_time(e_init, p, None) for p in procs]
+    proto = [
+        t1 if p == 1 else _sort_des_time(e_init, p, ACEII_PROTOTYPE) for p in procs
+    ]
+    exp = Experiment(
+        "fig8b",
+        f"integer-sort speedup, E = {e_init} keys (DES)",
+        "P",
+        "speedup over one processor",
+    )
+    exp.add(speedup_series("proto INIC", procs, proto, t1))
+    exp.add(speedup_series("GigE", procs, gige, t1))
+    return exp
+
+
+def all_figures(scale: Scale) -> list[Experiment]:
+    return [fig4a(scale), fig4b(scale), fig5a(scale), fig5b(scale), fig8a(scale), fig8b(scale)]
+
+
+def _main() -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    from .harness import render_all
+
+    ap = argparse.ArgumentParser(description="regenerate the paper's figures")
+    ap.add_argument("--scale", choices=["paper", "bench", "ci"], default="paper")
+    ap.add_argument(
+        "--only", nargs="*", default=None, help="subset, e.g. --only fig4a fig8b"
+    )
+    ap.add_argument("--csv", default=None, help="also export CSVs to this directory")
+    ap.add_argument("--plot", action="store_true", help="append ASCII plots")
+    args = ap.parse_args()
+    scale = {"paper": Scale.paper, "bench": Scale.bench, "ci": Scale.ci}[args.scale]()
+    table = {
+        "fig4a": fig4a,
+        "fig4b": fig4b,
+        "fig5a": fig5a,
+        "fig5b": fig5b,
+        "fig8a": fig8a,
+        "fig8b": fig8b,
+    }
+    names = args.only or list(table)
+    experiments = [table[n](scale) for n in names]
+    print(render_all(experiments))
+    if args.plot:
+        from .report import ascii_plot
+
+        for e in experiments:
+            print()
+            print(ascii_plot(e))
+    if args.csv:
+        from .export import export_all_csv
+
+        for path in export_all_csv(experiments, args.csv):
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

@@ -1,0 +1,120 @@
+"""Experiment harness: figure definitions, scales, rendering.
+
+Every figure reproduction is an :class:`Experiment`: an id (the paper's
+figure panel), axis labels, and a set of :class:`~repro.models.speedup.Series`.
+Two scales:
+
+* ``paper`` — the paper's problem sizes and processor counts (used to
+  produce EXPERIMENTS.md);
+* ``ci`` — reduced sizes for pytest-benchmark, preserving the shape
+  assertions while keeping wall-clock low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ApplicationError
+from ..models.speedup import Series
+
+__all__ = ["Scale", "Experiment", "render_table", "render_all"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Problem-size bundle for one run of the figure suite."""
+
+    name: str
+    fft_sizes: tuple[int, ...]
+    fft_procs: tuple[int, ...]
+    sort_keys: int
+    sort_procs: tuple[int, ...]
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        return cls(
+            name="paper",
+            fft_sizes=(256, 512),
+            fft_procs=(1, 2, 4, 8, 16),
+            # Fig. 5(a)'s partition axis implies ~48 * 2^20 keys; the DES
+            # figures use 2^24 (speedup shapes are size-stable, see
+            # EXPERIMENTS.md), the analytic figures use the full count.
+            sort_keys=1 << 24,
+            sort_procs=(1, 2, 4, 8, 16),
+        )
+
+    @classmethod
+    def bench(cls) -> "Scale":
+        """pytest-benchmark scale: one real DES sweep per figure, sized
+        to finish in seconds while keeping the paper's P range."""
+        return cls(
+            name="bench",
+            fft_sizes=(256,),
+            fft_procs=(1, 2, 4, 8, 16),
+            sort_keys=1 << 20,
+            sort_procs=(1, 2, 4, 8, 16),
+        )
+
+    @classmethod
+    def ci(cls) -> "Scale":
+        return cls(
+            name="ci",
+            fft_sizes=(128,),
+            fft_procs=(1, 2, 4, 8),
+            sort_keys=1 << 18,
+            sort_procs=(1, 2, 4, 8),
+        )
+
+
+@dataclass
+class Experiment:
+    """One reproduced figure panel."""
+
+    exp_id: str  # e.g. "fig4a"
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def series_named(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise ApplicationError(
+            f"{self.exp_id}: no series {name!r}; have {[s.name for s in self.series]}"
+        )
+
+    def add(self, s: Series) -> None:
+        self.series.append(s)
+
+
+def render_table(exp: Experiment, precision: int = 2) -> str:
+    """Paper-style rows: one line per x value, one column per series."""
+    xs = sorted({x for s in exp.series for x in s.x})
+    name_w = max(12, *(len(s.name) for s in exp.series)) if exp.series else 12
+    header = f"{exp.x_label:>10} | " + " | ".join(
+        f"{s.name:>{name_w}}" for s in exp.series
+    )
+    lines = [
+        f"== {exp.exp_id}: {exp.title} ==",
+        f"   ({exp.y_label})",
+        header,
+        "-" * len(header),
+    ]
+    for x in xs:
+        cells = []
+        for s in exp.series:
+            try:
+                cells.append(f"{s.at(x):>{name_w}.{precision}f}")
+            except ApplicationError:
+                cells.append(" " * (name_w - 1) + "-")
+        lines.append(f"{x:>10g} | " + " | ".join(cells))
+    for note in exp.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_all(experiments: list[Experiment]) -> str:
+    return "\n\n".join(render_table(e) for e in experiments)

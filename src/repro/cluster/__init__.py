@@ -1,0 +1,39 @@
+"""Cluster assembly, SimMPI, collectives, and the app harness."""
+
+from .app import AppResult, ParallelApp
+from .builder import Cluster, ClusterSpec, NodeHardware, athlon_node
+from .collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    alltoall_concurrent,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+from .mpi import Communicator, MPIConfig, RankContext
+from .node import Node
+
+__all__ = [
+    "AppResult",
+    "Cluster",
+    "ClusterSpec",
+    "Communicator",
+    "MPIConfig",
+    "Node",
+    "NodeHardware",
+    "ParallelApp",
+    "RankContext",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "alltoall_concurrent",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "scatter",
+    "athlon_node",
+]

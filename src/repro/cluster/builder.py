@@ -1,0 +1,168 @@
+"""Cluster assembly: specs and the builder.
+
+``ClusterSpec`` describes a whole machine; ``Cluster.build`` turns it
+into a wired simulation: nodes, their protocol stacks, and either
+standard NICs or INIC cards on a switched star fabric.
+
+``athlon_node()`` captures the prototype node of Section 5 (1 GHz
+Athlon, 64 KiB L1 / 256 KiB L2, PC133 SDRAM, 32-bit/33 MHz PCI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..hw.cpu import CPU
+from ..hw.interrupts import CoalescePolicy
+from ..hw.memory import CacheLevel, MemoryHierarchy
+from ..hw.pci import pci_32_33
+from ..inic.card import CardSpec, IDEAL_INIC, INICCard
+from ..net.fabric import GIGABIT_ETHERNET, NetworkTechnology, build_star
+from ..net.nic import StandardNIC
+from ..net.switch import Switch
+from ..protocols.tcp import TCPConfig, TCPStack
+from ..sim.engine import Simulator
+from ..sim.rand import RandomStreams
+from ..sim.trace import TraceRecorder
+from ..units import KiB
+from .node import Node
+
+__all__ = ["NodeHardware", "ClusterSpec", "Cluster", "athlon_node"]
+
+
+@dataclass(frozen=True)
+class NodeHardware:
+    """Per-node hardware parameters."""
+
+    clock_hz: float = 1e9  # 1 GHz Athlon
+    flops_per_cycle: float = 1.0
+    l1_bytes: int = 64 * KiB
+    l1_stream_bw: float = 8e9
+    l1_random_bw: float = 4e9
+    l2_bytes: int = 256 * KiB
+    l2_stream_bw: float = 2.5e9
+    l2_random_bw: float = 1.2e9
+    dram_stream_bw: float = 0.5e9  # PC133 SDRAM
+    dram_random_bw: float = 0.1e9
+    interrupt_cost: float = 8e-6
+    # SysKonnect-style mitigation: fire after 70us or 10 frames.
+    coalesce: CoalescePolicy = field(
+        default_factory=lambda: CoalescePolicy(delay=70e-6, max_frames=10)
+    )
+
+    def hierarchy(self) -> MemoryHierarchy:
+        return MemoryHierarchy(
+            [
+                CacheLevel("L1", self.l1_bytes, self.l1_stream_bw, self.l1_random_bw),
+                CacheLevel("L2", self.l2_bytes, self.l2_stream_bw, self.l2_random_bw),
+                CacheLevel(
+                    "DRAM", float("inf"), self.dram_stream_bw, self.dram_random_bw
+                ),
+            ]
+        )
+
+
+def athlon_node() -> NodeHardware:
+    """The prototype's node hardware (Section 5)."""
+    return NodeHardware()
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A whole machine description."""
+
+    n_nodes: int
+    network: NetworkTechnology = GIGABIT_ETHERNET
+    node: NodeHardware = field(default_factory=athlon_node)
+    tcp: TCPConfig = field(default_factory=TCPConfig)
+    inic: Optional[CardSpec] = None  # None: standard NICs + TCP
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+    def with_inic(self, card: CardSpec = IDEAL_INIC) -> "ClusterSpec":
+        return replace(self, inic=card)
+
+
+class Cluster:
+    """A built, wired cluster simulation."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        sim: Simulator,
+        nodes: list[Node],
+        switch: Switch,
+        trace: TraceRecorder,
+        streams: RandomStreams,
+    ):
+        self.spec = spec
+        self.sim = sim
+        self.nodes = nodes
+        self.switch = switch
+        self.trace = trace
+        self.streams = streams
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    @classmethod
+    def build(cls, spec: ClusterSpec) -> "Cluster":
+        sim = Simulator()
+        trace = TraceRecorder(sim)
+        streams = RandomStreams(spec.seed)
+        nodes: list[Node] = []
+        stations = []
+        for rank in range(spec.n_nodes):
+            hw = spec.node
+            cpu = CPU(
+                sim,
+                hw.hierarchy(),
+                clock_hz=hw.clock_hz,
+                flops_per_cycle=hw.flops_per_cycle,
+                interrupt_cost=hw.interrupt_cost,
+                name=f"cpu{rank}",
+            )
+            pci = pci_32_33(sim, name=f"pci{rank}")
+            nic = tcp = inic = None
+            if spec.inic is None:
+                nic = StandardNIC(
+                    sim,
+                    address=NodeAddr(rank),
+                    host_bus=pci,
+                    cpu=cpu,
+                    coalesce=hw.coalesce,
+                    name=f"nic{rank}",
+                )
+                tcp = TCPStack(sim, nic, cpu, config=spec.tcp, name=f"tcp{rank}")
+                stations.append((nic.address, nic))
+            else:
+                inic = INICCard(
+                    sim,
+                    address=NodeAddr(rank),
+                    spec=spec.inic,
+                    cpu=cpu,
+                    name=f"inic{rank}",
+                )
+                stations.append((inic.address, inic))
+            nodes.append(Node(sim, rank, cpu, pci, nic=nic, tcp=tcp, inic=inic))
+        switch = build_star(sim, stations, tech=spec.network)
+        return cls(spec, sim, nodes, switch, trace, streams)
+
+    def run(self, until=None, max_events=None):
+        return self.sim.run(until=until, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "inic" if self.spec.inic else "tcp"
+        return f"<Cluster {self.size}x {kind} over {self.spec.network.name}>"
+
+
+def NodeAddr(rank: int):
+    """Address for a rank (thin alias to keep builder readable)."""
+    from ..net.addresses import MacAddress
+
+    return MacAddress(rank)

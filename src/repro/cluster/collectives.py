@@ -1,0 +1,245 @@
+"""Collective operations over SimMPI (host-driven baselines).
+
+These are the software collectives an MPI library would run over TCP —
+the comparison points for the INIC's in-datapath collectives.  All are
+generators to be driven from a rank's program::
+
+    results = yield from alltoall(ctx, my_blocks)
+
+Every collective derives its message tag from the rank context's SPMD
+phase counter, so phases never cross-match.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ApplicationError
+from .mpi import RankContext
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "alltoall_concurrent",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "scatter",
+]
+
+
+def barrier(ctx: RankContext):
+    """Dissemination barrier: ceil(log2 P) rounds of tiny messages."""
+    p = ctx.size
+    if p == 1:
+        return
+    tag = ctx.next_phase_tag()
+    k = 1
+    while k < p:
+        dst = (ctx.rank + k) % p
+        src = (ctx.rank - k) % p
+        ctx.send(dst, 4, tag=tag + k.bit_length())
+        yield ctx.recv(src=src, tag=tag + k.bit_length())
+        k *= 2
+
+
+def bcast(ctx: RankContext, data: Any, nbytes: int, root: int = 0):
+    """Binomial-tree broadcast; returns the data on every rank."""
+    p = ctx.size
+    tag = ctx.next_phase_tag()
+    if p == 1:
+        return data
+    vrank = (ctx.rank - root) % p
+    # Receive from the parent (unless root): strip the lowest set bit.
+    if vrank != 0:
+        parent = vrank & (vrank - 1)
+        msg = yield ctx.recv(src=(parent + root) % p, tag=tag)
+        data = msg.payload
+        nbytes = msg.nbytes
+    # Forward to children: vrank + 2^k for 2^k > vrank's lowest bits.
+    k = 1
+    while k < p:
+        if vrank % (2 * k) == 0 and vrank + k < p:
+            ctx.send(((vrank + k) + root) % p, nbytes, payload=data, tag=tag)
+        k *= 2
+    return data
+
+
+def allgather(ctx: RankContext, data: Any, nbytes: int):
+    """Ring allgather; returns a list indexed by rank."""
+    p = ctx.size
+    out: list[Any] = [None] * p
+    out[ctx.rank] = data
+    if p == 1:
+        return out
+    tag = ctx.next_phase_tag()
+    right = (ctx.rank + 1) % p
+    left = (ctx.rank - 1) % p
+    carry = data
+    carry_bytes = nbytes
+    for step in range(p - 1):
+        ctx.send(right, carry_bytes, payload=carry, tag=tag + step)
+        msg = yield ctx.recv(src=left, tag=tag + step)
+        carry = msg.payload
+        carry_bytes = msg.nbytes
+        out[(ctx.rank - 1 - step) % p] = carry
+    return out
+
+
+def alltoall(ctx: RankContext, blocks: Sequence[tuple[int, Any]]):
+    """Personalized all-to-all, pairwise-exchange schedule.
+
+    ``blocks`` is a sequence of ``(nbytes, payload)`` indexed by
+    destination rank (length P; the self block is delivered locally).
+
+    This is FFTW 2.x's MPI transpose schedule: P-1 *sequential* rounds
+    of sendrecv with a single partner per round (XOR matching when P is
+    a power of two, rotation otherwise).  Each round pays the full
+    message latency — the latency-serialization that makes TCP all-to-
+    alls flatten as partitions shrink.  The fully concurrent variant is
+    :func:`alltoall_concurrent` (used by ablation benches).
+
+    Returns a list indexed by source rank of received payloads.
+    """
+    p = ctx.size
+    if len(blocks) != p:
+        raise ApplicationError(f"alltoall needs {p} blocks, got {len(blocks)}")
+    tag = ctx.next_phase_tag()
+    out: list[Any] = [None] * p
+
+    # Self block: local "copy".
+    self_bytes, self_payload = blocks[ctx.rank]
+    yield ctx.send(ctx.rank, max(self_bytes, 4), payload=self_payload, tag=tag)
+    msg = yield ctx.recv(src=ctx.rank, tag=tag)
+    out[ctx.rank] = msg.payload
+
+    pow2 = p & (p - 1) == 0
+    for rnd in range(1, p):
+        partner = (ctx.rank ^ rnd) if pow2 else (ctx.rank + rnd) % p
+        if partner == ctx.rank:
+            continue
+        nbytes, payload = blocks[partner]
+        # Empty blocks still send a header-sized message so receivers
+        # need not know the (data-dependent) counts in advance.
+        send_ev = ctx.send(partner, max(nbytes, 4), payload=payload, tag=tag)
+        src = partner if pow2 else (ctx.rank - rnd) % p
+        msg = yield ctx.recv(src=src, tag=tag)
+        out[src] = msg.payload
+        yield send_ev
+    return out
+
+
+def alltoall_concurrent(ctx: RankContext, blocks: Sequence[tuple[int, Any]]):
+    """All sends posted at once (a modern nonblocking all-to-all).
+
+    Kept as the ablation comparison for the pairwise schedule above.
+    """
+    p = ctx.size
+    if len(blocks) != p:
+        raise ApplicationError(f"alltoall needs {p} blocks, got {len(blocks)}")
+    tag = ctx.next_phase_tag()
+    out: list[Any] = [None] * p
+
+    send_events = []
+    for shift in range(1, p):
+        dst = (ctx.rank + shift) % p
+        nbytes, payload = blocks[dst]
+        send_events.append(ctx.send(dst, max(nbytes, 4), payload=payload, tag=tag))
+
+    self_bytes, self_payload = blocks[ctx.rank]
+    yield ctx.send(ctx.rank, max(self_bytes, 4), payload=self_payload, tag=tag)
+    msg = yield ctx.recv(src=ctx.rank, tag=tag)
+    out[ctx.rank] = msg.payload
+
+    for shift in range(1, p):
+        src = (ctx.rank - shift) % p
+        msg = yield ctx.recv(src=src, tag=tag)
+        out[src] = msg.payload
+    for ev in send_events:
+        yield ev
+    return out
+
+
+def allreduce(
+    ctx: RankContext,
+    data: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    compute_cost_per_byte: float = 0.0,
+):
+    """Reduce-to-root + broadcast (simple but representative baseline)."""
+    p = ctx.size
+    arr = np.asarray(data)
+    nbytes = arr.nbytes
+    tag = ctx.next_phase_tag()
+    if p == 1:
+        return arr.copy()
+    if ctx.rank == 0:
+        acc = arr.copy()
+        for _ in range(p - 1):
+            msg = yield ctx.recv(tag=tag)
+            if compute_cost_per_byte > 0:
+                yield from ctx.compute(compute_cost_per_byte * nbytes)
+            acc = op(acc, msg.payload)
+        result = acc
+    else:
+        yield ctx.send(0, nbytes, payload=arr, tag=tag)
+        result = None
+    result = yield from bcast(ctx, result, nbytes, root=0)
+    return result
+
+
+def gather(ctx: RankContext, data: Any, nbytes: int, root: int = 0):
+    """Gather one item per rank at ``root``; returns the list there
+    (None elsewhere)."""
+    p = ctx.size
+    tag = ctx.next_phase_tag()
+    if ctx.rank == root:
+        out: list[Any] = [None] * p
+        out[root] = data
+        for _ in range(p - 1):
+            msg = yield ctx.recv(tag=tag)
+            out[msg.src.value] = msg.payload
+        return out
+    yield ctx.send(root, max(nbytes, 4), payload=data, tag=tag)
+    return None
+
+
+def scatter(ctx: RankContext, items: Optional[Sequence[Any]], nbytes: int, root: int = 0):
+    """Scatter one item per rank from ``root``; returns this rank's item."""
+    p = ctx.size
+    tag = ctx.next_phase_tag()
+    if ctx.rank == root:
+        if items is None or len(items) != p:
+            raise ApplicationError(f"root must supply {p} items")
+        for dst in range(p):
+            if dst != root:
+                ctx.send(dst, max(nbytes, 4), payload=items[dst], tag=tag)
+        return items[root]
+    msg = yield ctx.recv(src=root, tag=tag)
+    return msg.payload
+
+
+def reduce(
+    ctx: RankContext,
+    data: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    root: int = 0,
+):
+    """Reduce to ``root``; returns the result there (None elsewhere)."""
+    p = ctx.size
+    arr = np.asarray(data)
+    tag = ctx.next_phase_tag()
+    if p == 1:
+        return arr.copy()
+    if ctx.rank == root:
+        acc = arr.copy()
+        for _ in range(p - 1):
+            msg = yield ctx.recv(tag=tag)
+            acc = op(acc, msg.payload)
+        return acc
+    yield ctx.send(root, arr.nbytes, payload=arr, tag=tag)
+    return None

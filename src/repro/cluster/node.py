@@ -1,0 +1,63 @@
+"""A Beowulf node: CPU + memory + PCI + NIC (+ optional INIC).
+
+Mirrors the prototype node of Section 5: "a 32-bit PCI motherboard with
+a 1 GHz Athlon and 512 MB of RAM.  On the PCI system bus is a
+SysKonnect PCI Gigabit Ethernet NIC, and a Fast Ethernet NIC.  Eight of
+the systems include an ACEII card."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw.cpu import CPU
+from ..hw.memory import MemoryHierarchy
+from ..inic.card import INICCard
+from ..net.addresses import MacAddress
+from ..net.nic import StandardNIC
+from ..protocols.tcp import TCPStack
+from ..sim.bus import FairShareBus
+from ..sim.engine import Simulator
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One cluster node and its device complement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rank: int,
+        cpu: CPU,
+        pci: FairShareBus,
+        nic: Optional[StandardNIC] = None,
+        tcp: Optional[TCPStack] = None,
+        inic: Optional[INICCard] = None,
+    ):
+        self.sim = sim
+        self.rank = rank
+        self.address = MacAddress(rank)
+        self.cpu = cpu
+        self.pci = pci
+        self.nic = nic
+        self.tcp = tcp
+        self.inic = inic
+
+    @property
+    def hierarchy(self) -> MemoryHierarchy:
+        return self.cpu.hierarchy
+
+    def require_tcp(self) -> TCPStack:
+        if self.tcp is None:
+            raise RuntimeError(f"node {self.rank} has no TCP stack configured")
+        return self.tcp
+
+    def require_inic(self) -> INICCard:
+        if self.inic is None:
+            raise RuntimeError(f"node {self.rank} has no INIC card")
+        return self.inic
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        devs = [d for d, present in (("nic", self.nic), ("inic", self.inic)) if present]
+        return f"<Node {self.rank} [{'+'.join(devs)}]>"

@@ -1,0 +1,31 @@
+"""The offload framework: modes, designs, driver, manager, facade."""
+
+from .api import build_acc, build_beowulf
+from .design import (
+    collective_design,
+    compute_design,
+    datatype_design,
+    fft_transpose_design,
+    integer_sort_design,
+    protocol_processor_design,
+    supported_bucket_count,
+)
+from .driver import HostDriver
+from .manager import INICManager
+from .modes import Mode, validate_mode_cores
+
+__all__ = [
+    "HostDriver",
+    "INICManager",
+    "Mode",
+    "build_acc",
+    "build_beowulf",
+    "collective_design",
+    "compute_design",
+    "datatype_design",
+    "fft_transpose_design",
+    "integer_sort_design",
+    "protocol_processor_design",
+    "supported_bucket_count",
+    "validate_mode_cores",
+]

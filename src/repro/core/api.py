@@ -1,0 +1,44 @@
+"""Top-level convenience API.
+
+The two-liner a downstream user starts from::
+
+    from repro.core.api import build_acc
+    cluster, manager = build_acc(8)                 # ideal INIC ACC
+    cluster, manager = build_acc(8, card=ACEII_PROTOTYPE)
+
+and the matched baseline::
+
+    from repro.core.api import build_beowulf
+    cluster = build_beowulf(8)                      # GigE + TCP
+"""
+
+from __future__ import annotations
+
+from ..cluster.builder import Cluster, ClusterSpec
+from ..inic.card import CardSpec, IDEAL_INIC
+from ..net.fabric import GIGABIT_ETHERNET, NetworkTechnology
+from .manager import INICManager
+
+__all__ = ["build_acc", "build_beowulf"]
+
+
+def build_acc(
+    n_nodes: int,
+    card: CardSpec = IDEAL_INIC,
+    network: NetworkTechnology = GIGABIT_ETHERNET,
+    seed: int = 0x5EED,
+) -> tuple[Cluster, INICManager]:
+    """Build an Adaptable Computing Cluster: every node carries an INIC."""
+    cluster = Cluster.build(
+        ClusterSpec(n_nodes=n_nodes, network=network, seed=seed).with_inic(card)
+    )
+    return cluster, INICManager(cluster)
+
+
+def build_beowulf(
+    n_nodes: int,
+    network: NetworkTechnology = GIGABIT_ETHERNET,
+    seed: int = 0x5EED,
+) -> Cluster:
+    """Build the commodity baseline: standard NICs + TCP."""
+    return Cluster.build(ClusterSpec(n_nodes=n_nodes, network=network, seed=seed))

@@ -1,0 +1,102 @@
+"""INIC operating modes (Section 2).
+
+The paper defines three ways to use the FPGAs in the datapath:
+
+``COMPUTE``
+    "Compute Accelerator — using the FPGAs strictly for application
+    computing tasks ... a separate path to host memory is configured to
+    allow normal network operations."
+
+``PROTOCOL``
+    "Protocol Processor — the FPGAs are used strictly for network
+    processing ... performing all of the protocol processing for a
+    node."
+
+``COMBINED``
+    "Combined Compute/Protocol Accelerator — ... the most interesting of
+    the three modes ... the computing portion can be a passive element,
+    processing data as it passes through the device at zero cost."
+
+Mode membership constrains which cores a design may carry; the manager
+validates this at configuration time.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigurationError
+
+__all__ = ["Mode", "validate_mode_cores"]
+
+
+class Mode(enum.Enum):
+    COMPUTE = "compute"
+    PROTOCOL = "protocol"
+    COMBINED = "combined"
+
+    @classmethod
+    def parse(cls, value: "str | Mode") -> "Mode":
+        if isinstance(value, Mode):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown INIC mode {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+#: core-name prefixes that constitute protocol machinery
+_PROTOCOL_CORES = ("packetize", "depacketize", "fifo")
+#: core-name prefixes that constitute application computation
+_COMPUTE_CORES = (
+    "local-transpose",
+    "final-permutation",
+    "bucket-sort",
+    "reduce",
+    "broadcast",
+    "datatype-engine",
+)
+
+
+def _classify(core_name: str) -> str:
+    for prefix in _PROTOCOL_CORES:
+        if core_name.startswith(prefix):
+            return "protocol"
+    for prefix in _COMPUTE_CORES:
+        if core_name.startswith(prefix):
+            return "compute"
+    return "other"
+
+
+def validate_mode_cores(mode: "str | Mode", core_names: list[str]) -> Mode:
+    """Check that a design's cores are legal for its mode.
+
+    * PROTOCOL designs must not carry application-compute cores.
+    * COMPUTE designs must not carry protocol cores (the network path
+      bypasses the FPGAs in that mode).
+    * COMBINED designs must carry protocol cores (data enters through
+      the packetizers) and may carry anything.
+    """
+    m = Mode.parse(mode)
+    kinds = {name: _classify(name) for name in core_names}
+    if m is Mode.PROTOCOL:
+        offenders = [n for n, k in kinds.items() if k == "compute"]
+        if offenders:
+            raise ConfigurationError(
+                f"PROTOCOL-mode design carries compute cores {offenders}"
+            )
+    elif m is Mode.COMPUTE:
+        offenders = [n for n, k in kinds.items() if k == "protocol"]
+        if offenders:
+            raise ConfigurationError(
+                f"COMPUTE-mode design carries protocol cores {offenders}"
+            )
+    else:  # COMBINED
+        if not any(k == "protocol" for k in kinds.values()):
+            raise ConfigurationError(
+                "COMBINED-mode design needs the packetize/depacketize path"
+            )
+    return m

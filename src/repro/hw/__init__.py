@@ -1,0 +1,33 @@
+"""Node-hardware substrate: memory hierarchy, CPU, interrupts, DMA, PCI."""
+
+from .cpu import CPU
+from .dma import DMAEngine
+from .interrupts import IMMEDIATE, CoalescePolicy, InterruptController
+from .memory import AccessPattern, CacheLevel, MemoryHierarchy
+from .pci import (
+    PCI_32_33_RATE,
+    PCI_64_66_RATE,
+    PCIX_133_RATE,
+    card_local_bus,
+    pci_32_33,
+    pci_64_66,
+    pcix_133,
+)
+
+__all__ = [
+    "AccessPattern",
+    "CPU",
+    "CacheLevel",
+    "CoalescePolicy",
+    "DMAEngine",
+    "IMMEDIATE",
+    "InterruptController",
+    "MemoryHierarchy",
+    "PCI_32_33_RATE",
+    "PCI_64_66_RATE",
+    "PCIX_133_RATE",
+    "card_local_bus",
+    "pci_32_33",
+    "pci_64_66",
+    "pcix_133",
+]

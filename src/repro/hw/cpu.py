@@ -1,0 +1,138 @@
+"""Host CPU model.
+
+The CPU is a single-server resource (the paper's nodes are 1-GHz
+uniprocessor Athlons) whose compute tasks are expressed in *seconds of
+work*, produced by the application cost models
+(:mod:`repro.models.params`).  Two effects the paper depends on are
+modelled:
+
+* **Interrupt theft** — interrupt handlers (NIC RX/TX) steal CPU time
+  from whatever computation is running.  Delivered interrupts call
+  :meth:`CPU.steal`; the backlog inflates the running (or next) task.
+  This is the mechanism by which per-packet interrupt load slows the
+  Gigabit Ethernet baseline, and its absence is the INIC's headline win
+  ("the virtual elimination of interrupts from the communication path",
+  Section 4.1).
+
+* **Cache-fit compute rates** — helpers cost a task by bytes touched and
+  working-set size through the :class:`~repro.hw.memory.MemoryHierarchy`,
+  so partition-fits-in-L2 kinks appear in compute curves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import HardwareError
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+from .memory import AccessPattern, MemoryHierarchy
+
+__all__ = ["CPU"]
+
+
+class CPU:
+    """A single host processor with a memory hierarchy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hierarchy: MemoryHierarchy,
+        clock_hz: float = 1e9,
+        flops_per_cycle: float = 1.0,
+        interrupt_cost: float = 10e-6,
+        name: str = "cpu",
+    ):
+        if clock_hz <= 0:
+            raise HardwareError("clock must be > 0")
+        if flops_per_cycle <= 0:
+            raise HardwareError("flops_per_cycle must be > 0")
+        if interrupt_cost < 0:
+            raise HardwareError("negative interrupt cost")
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.clock_hz = float(clock_hz)
+        self.flops_per_cycle = float(flops_per_cycle)
+        self.interrupt_cost = float(interrupt_cost)
+        self.name = name
+        self.core = Resource(sim, capacity=1, name=f"{name}.core")
+        self._steal_backlog = 0.0
+        # -- statistics ----------------------------------------------------
+        self.busy_time = 0.0
+        self.interrupt_time = 0.0
+        self.tasks_run = 0
+
+    # -- interrupt theft ---------------------------------------------------------
+    def steal(self, seconds: float) -> None:
+        """Charge ``seconds`` of handler time against the CPU.
+
+        The time is added to a backlog consumed by the running or next
+        compute task, inflating it.
+        """
+        if seconds < 0:
+            raise HardwareError("negative steal")
+        self._steal_backlog += seconds
+        self.interrupt_time += seconds
+
+    def charge_interrupt(self, count: int = 1) -> None:
+        """Convenience: steal ``count`` interrupt-handler costs."""
+        self.steal(count * self.interrupt_cost)
+
+    # -- computing -----------------------------------------------------------------
+    def busy(self, seconds: float):
+        """Generator: occupy the core for ``seconds`` of work.
+
+        Usage inside a process::
+
+            yield from node.cpu.busy(0.010)
+
+        The actual elapsed time is ``seconds`` plus any interrupt time
+        stolen while the task held the core.
+        """
+        if seconds < 0:
+            raise HardwareError(f"negative compute time {seconds!r}")
+        req = yield from self.core.acquire()
+        try:
+            start = self.sim.now
+            remaining = seconds + self._consume_backlog()
+            while remaining > 0:
+                yield self.sim.timeout(remaining)
+                # Interrupts may have stolen time while we "ran".
+                remaining = self._consume_backlog()
+            self.busy_time += self.sim.now - start
+            self.tasks_run += 1
+        finally:
+            self.core.release(req)
+
+    def _consume_backlog(self) -> float:
+        stolen, self._steal_backlog = self._steal_backlog, 0.0
+        return stolen
+
+    # -- cost helpers ----------------------------------------------------------------
+    def flops_time(self, flops: float) -> float:
+        """Seconds for a pure-compute task of ``flops`` operations."""
+        if flops < 0:
+            raise HardwareError("negative flop count")
+        return flops / (self.clock_hz * self.flops_per_cycle)
+
+    def memory_time(
+        self,
+        nbytes: float,
+        working_set: Optional[float] = None,
+        pattern: str = AccessPattern.STREAM,
+    ) -> float:
+        """Seconds for a memory-bound task touching ``nbytes``."""
+        return self.hierarchy.touch_time(nbytes, working_set, pattern)
+
+    def task_time(
+        self,
+        flops: float = 0.0,
+        nbytes: float = 0.0,
+        working_set: Optional[float] = None,
+        pattern: str = AccessPattern.STREAM,
+    ) -> float:
+        """Roofline-style cost: max of compute time and memory time."""
+        return max(self.flops_time(flops), self.memory_time(nbytes, working_set, pattern))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CPU {self.name!r} {self.clock_hz / 1e6:g} MHz>"

@@ -1,0 +1,153 @@
+"""Memory-hierarchy model: cache-fit-dependent effective bandwidth.
+
+The paper leans on two memory-system observations:
+
+* the FFT compute curve "is smooth except at 2-3 processors and 6-8
+  processors where the local partition fits into a faster level of the
+  memory hierarchy" (Section 4.1) — so per-element compute cost must be a
+  function of *working-set size relative to the caches*;
+* count sort belongs on the host because "cache memory bandwidth on a
+  commodity processor is much higher than the comparable memory bandwidth
+  for an INIC" (Section 3.2.2), while bucket sort's random writes are
+  DRAM-bound — so streaming vs random access must be distinguished.
+
+The model is deliberately simple: a stack of levels, each with a
+capacity, a streaming bandwidth and a random-access bandwidth.  The
+effective bandwidth for a working set is that of the smallest level that
+contains it, blended linearly across a transition band so curves kink
+(visibly change slope) rather than step discontinuously — matching the
+measured curves in the paper, where partitions straddle cache boundaries
+across 2-3 adjacent processor counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import MemoryModelError
+
+__all__ = ["CacheLevel", "MemoryHierarchy", "AccessPattern"]
+
+
+class AccessPattern:
+    """Access-pattern tags for bandwidth selection."""
+
+    STREAM = "stream"
+    RANDOM = "random"
+
+    ALL = (STREAM, RANDOM)
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the hierarchy.
+
+    Parameters
+    ----------
+    name:
+        "L1", "L2", "DRAM", ...
+    capacity:
+        bytes this level holds; the last level should be ``float('inf')``.
+    stream_bw:
+        sequential-access bandwidth in bytes/s.
+    random_bw:
+        random-access (cache-line-granular) bandwidth in bytes/s.
+    latency:
+        access latency in seconds (used for pointer-chasing models).
+    """
+
+    name: str
+    capacity: float
+    stream_bw: float
+    random_bw: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise MemoryModelError(f"{self.name}: capacity must be > 0")
+        if self.stream_bw <= 0 or self.random_bw <= 0:
+            raise MemoryModelError(f"{self.name}: bandwidths must be > 0")
+        if self.latency < 0:
+            raise MemoryModelError(f"{self.name}: negative latency")
+
+    def bandwidth(self, pattern: str) -> float:
+        if pattern == AccessPattern.STREAM:
+            return self.stream_bw
+        if pattern == AccessPattern.RANDOM:
+            return self.random_bw
+        raise MemoryModelError(f"unknown access pattern {pattern!r}")
+
+
+class MemoryHierarchy:
+    """An ordered stack of cache levels (fastest/smallest first)."""
+
+    #: fraction of a level's capacity over which bandwidth blends into the
+    #: next level's (working sets slightly above a cache still partly hit).
+    TRANSITION = 0.5
+
+    def __init__(self, levels: Sequence[CacheLevel]):
+        if not levels:
+            raise MemoryModelError("hierarchy needs at least one level")
+        caps = [lv.capacity for lv in levels]
+        if any(a >= b for a, b in zip(caps, caps[1:])):
+            raise MemoryModelError("levels must have strictly increasing capacity")
+        if levels[-1].capacity != float("inf"):
+            raise MemoryModelError("last level must have infinite capacity (DRAM)")
+        self.levels = tuple(levels)
+
+    # -- queries --------------------------------------------------------------
+    def level_for(self, working_set: float) -> CacheLevel:
+        """Smallest level whose capacity covers ``working_set``."""
+        if working_set < 0:
+            raise MemoryModelError(f"negative working set {working_set!r}")
+        for lv in self.levels:
+            if working_set <= lv.capacity:
+                return lv
+        raise AssertionError("unreachable: last level is infinite")
+
+    def effective_bandwidth(
+        self, working_set: float, pattern: str = AccessPattern.STREAM
+    ) -> float:
+        """Bandwidth for touching a ``working_set``-byte footprint.
+
+        Within a level: that level's bandwidth.  In the transition band
+        just above a level's capacity (up to ``(1+TRANSITION)*capacity``)
+        the value interpolates linearly toward the next level, producing
+        the kinked-but-continuous curves seen in the paper's Fig. 4(b).
+        """
+        if working_set < 0:
+            raise MemoryModelError(f"negative working set {working_set!r}")
+        for i, lv in enumerate(self.levels):
+            if working_set <= lv.capacity:
+                return lv.bandwidth(pattern)
+            upper = lv.capacity * (1.0 + self.TRANSITION)
+            if working_set < upper and i + 1 < len(self.levels):
+                nxt = self.levels[i + 1]
+                frac = (working_set - lv.capacity) / (upper - lv.capacity)
+                return (1.0 - frac) * lv.bandwidth(pattern) + frac * nxt.bandwidth(
+                    pattern
+                )
+        return self.levels[-1].bandwidth(pattern)
+
+    def touch_time(
+        self,
+        nbytes: float,
+        working_set: float | None = None,
+        pattern: str = AccessPattern.STREAM,
+    ) -> float:
+        """Seconds to move ``nbytes`` given a resident ``working_set``.
+
+        ``working_set`` defaults to ``nbytes`` (one pass over the data).
+        """
+        if nbytes < 0:
+            raise MemoryModelError(f"negative byte count {nbytes!r}")
+        ws = nbytes if working_set is None else working_set
+        bw = self.effective_bandwidth(ws, pattern)
+        return nbytes / bw
+
+    def names(self) -> list[str]:
+        return [lv.name for lv in self.levels]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryHierarchy {'/'.join(self.names())}>"

@@ -1,0 +1,64 @@
+"""Design composition and resource accounting.
+
+A *design* is what gets loaded onto the INIC's FPGA fabric: a named set
+of stream cores plus the always-present infrastructure (PCI interface,
+MAC interface, FIFOs — the fixed blocks of Figure 1(b)).  The design
+carries its operating :class:`~repro.core.modes.Mode`; resource fit
+against a fabric decides prototype-vs-ideal capability differences (the
+16-bucket limit of Section 6 falls out of CLB arithmetic here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cores.base import StreamCore
+
+__all__ = ["INFRASTRUCTURE_CLBS", "INFRASTRUCTURE_RAM_KBITS", "Design"]
+
+#: fixed cost of the non-reconfigurable-looking plumbing every design
+#: needs: PCI/PMC interface logic, MAC glue, control state machines.
+INFRASTRUCTURE_CLBS = 600
+INFRASTRUCTURE_RAM_KBITS = 16
+
+
+@dataclass
+class Design:
+    """A loadable card configuration."""
+
+    name: str
+    cores: list["StreamCore"] = field(default_factory=list)
+    mode: str = "combined"
+
+    def __post_init__(self) -> None:
+        names = [c.spec.name for c in self.cores]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"design {self.name!r} has duplicate cores")
+
+    @property
+    def clbs(self) -> int:
+        return INFRASTRUCTURE_CLBS + sum(c.spec.clbs for c in self.cores)
+
+    @property
+    def ram_kbits(self) -> int:
+        return INFRASTRUCTURE_RAM_KBITS + sum(c.spec.ram_kbits for c in self.cores)
+
+    def core(self, name: str) -> "StreamCore":
+        for c in self.cores:
+            if c.spec.name == name:
+                return c
+        raise ConfigurationError(f"design {self.name!r} has no core {name!r}")
+
+    def has_core(self, name: str) -> bool:
+        return any(c.spec.name == name for c in self.cores)
+
+    def with_cores(self, extra: Iterable["StreamCore"]) -> "Design":
+        return Design(self.name, list(self.cores) + list(extra), self.mode)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cores = ",".join(c.spec.name for c in self.cores)
+        return f"<Design {self.name!r} mode={self.mode} cores=[{cores}] {self.clbs} CLBs>"

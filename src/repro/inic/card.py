@@ -1,0 +1,588 @@
+"""The INIC card: datapath, ops, and the ideal/prototype variants.
+
+This is Figure 1(b) made executable.  A card is a station on the
+Ethernet fabric (like a :class:`~repro.net.nic.StandardNIC`) whose
+datapath contains the configured FPGA design.  Hosts interact through
+descriptor posts (free — "starting a send is handled by hardware that
+sits idle if no send is in progress", Section 3.2.2) and receive a
+**single completion interrupt per operation** ("Initiation of the
+transfer of data to the host memory may require a single interrupt per
+transpose", Section 4.1 footnote).
+
+Two datapath geometries:
+
+* **Ideal INIC** (Section 4's analysis): dedicated host path at
+  80 MiB/s and network path at 90 MiB/s — the paper's Eqs. (6)-(9)
+  rates — fully pipelined.
+* **ACEII prototype** (Sections 5-6): one shared 132 MB/s card bus
+  carries host DMA *and* MAC traffic, so every payload byte crosses it
+  twice per direction; plus a denser-design-limiting FPGA.
+
+Operations are all-to-all-shaped primitives (scatter with per-block
+payloads, gather against a :class:`~repro.protocols.inicproto.TransferPlan`)
+from which the applications build transposes and sort redistributions,
+plus reduce/broadcast extensions and a compute-accelerator mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigurationError, OffloadError
+from ..hw.cpu import CPU
+from ..hw.pci import DEFAULT_ARBITRATION
+from ..net.addresses import BROADCAST, MacAddress
+from ..net.link import Wire
+from ..net.packet import Frame
+from ..protocols.base import choose_quantum
+from ..protocols.inicproto import INICProtoConfig, TransferPlan
+from ..sim.bus import FCFSBus, FairShareBus
+from ..sim.engine import Event, Simulator
+from ..sim.resources import Store
+from ..units import KiB, mb_per_s, mib_per_s
+from .bitstream import Design
+from .fpga import FPGADevice, FPGAFabric, VIRTEX_1000, XILINX_4085XLA
+from .memory import INICMemory
+
+__all__ = [
+    "CardSpec",
+    "IDEAL_INIC",
+    "ACEII_PROTOTYPE",
+    "SendBlock",
+    "ScatterOp",
+    "GatherOp",
+    "INICCard",
+]
+
+
+@dataclass(frozen=True)
+class CardSpec:
+    """Physical parameters of an INIC card."""
+
+    name: str
+    devices: tuple[FPGADevice, ...]
+    memory_bytes: int
+    memory_bandwidth: float  # bytes/s, card RAM
+    shared_bus: bool  # True: one bus for host DMA + MAC traffic
+    host_rate: float  # bytes/s host<->card (dedicated or bus raw)
+    net_rate: float  # bytes/s card<->network
+    dma_threshold: int = 64 * KiB  # Eq. (15): receive->host granule
+    completion_irq_cost: float = 10e-6
+    #: per-destination in-flight byte window (Section 4.1's no-loss
+    #: property: never put more into the fabric than the buffers hold).
+    #: Credits return as tiny frames — the protocol's "minimal
+    #: acknowledgement information".
+    flow_window: int = 64 * KiB
+    proto: INICProtoConfig = field(default_factory=INICProtoConfig)
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: bad memory parameters")
+        if self.host_rate <= 0 or self.net_rate <= 0:
+            raise ConfigurationError(f"{self.name}: bad path rates")
+        if self.dma_threshold < 1:
+            raise ConfigurationError(f"{self.name}: bad DMA threshold")
+
+
+#: Section 4's next-generation single-chip INIC: dedicated pipelined
+#: paths at the measured-derated 80/90 MiB/s of Eqs. (6)-(9).
+IDEAL_INIC = CardSpec(
+    name="ideal-inic",
+    devices=(VIRTEX_1000,),
+    memory_bytes=32 * 1024 * KiB,
+    memory_bandwidth=mb_per_s(400),
+    shared_bus=False,
+    host_rate=mib_per_s(80),
+    net_rate=mib_per_s(90),
+)
+
+#: Sections 5-6's ACEII prototype: everything over one 132 MB/s bus
+#: (85% efficient), one app-usable XC4085XLA, limited memory.
+ACEII_PROTOTYPE = CardSpec(
+    name="aceii-prototype",
+    devices=(XILINX_4085XLA,),
+    memory_bytes=8 * 1024 * KiB,
+    memory_bandwidth=mb_per_s(200),
+    shared_bus=True,
+    host_rate=mb_per_s(132) * 0.85,
+    net_rate=mb_per_s(132) * 0.85,
+)
+
+
+@dataclass
+class SendBlock:
+    """One destination's share of a scatter operation.
+
+    ``data`` is the functional payload *after* the datapath transform
+    (the application applies the design's core, mirroring the hardware
+    doing it inline); ``nbytes`` is its logical size.
+    """
+
+    dst: MacAddress
+    nbytes: int
+    data: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 1:
+            raise OffloadError(f"send block of {self.nbytes} bytes")
+
+
+class ScatterOp:
+    """A posted scatter: streams blocks host->card->network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tag: int,
+        blocks: list[SendBlock],
+        window_bytes: Optional[int] = None,
+    ):
+        self.tag = tag
+        self.blocks = blocks
+        self.window_bytes = window_bytes  # per-destination flow window
+        self.sent: Event = sim.event(name=f"scatter#{tag}.sent")
+        self.bytes_total = sum(b.nbytes for b in blocks)
+
+
+class GatherOp:
+    """A posted gather: accounts arrivals against a plan, DMAs to host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tag: int,
+        plan: TransferPlan,
+        assemble: Optional[Callable[[dict[int, list]], Any]] = None,
+        reduce_core=None,
+    ):
+        self.tag = tag
+        self.plan = plan
+        self.assemble = assemble
+        self.reduce_core = reduce_core
+        self.done: Event = sim.event(name=f"gather#{tag}.done")
+        self.payloads: dict[int, list] = {}
+        self.accumulator = None
+        self.delivered_bytes = 0
+        self.pending_delivery = 0.0
+        self.last_seen_received = -1
+        self.stalled_polls = 0
+
+    def store_payload(self, src: MacAddress, payload: Any) -> None:
+        if payload is None:
+            return
+        if self.reduce_core is not None:
+            self.accumulator = self.reduce_core.apply(
+                payload, accumulator=self.accumulator
+            )
+        else:
+            self.payloads.setdefault(src.value, []).append(payload)
+
+    def result(self) -> Any:
+        if self.reduce_core is not None:
+            return self.accumulator
+        if self.assemble is not None:
+            return self.assemble(self.payloads)
+        return self.payloads
+
+
+class CardStats:
+    def __init__(self) -> None:
+        self.bytes_ingested = 0.0  # host -> card
+        self.bytes_egressed = 0.0  # card -> network
+        self.bytes_received = 0.0  # network -> card
+        self.bytes_delivered = 0.0  # card -> host
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.completion_interrupts = 0
+        self.peak_memory_bytes = 0.0
+
+
+class INICCard:
+    """A reconfigurable intelligent NIC on the cluster fabric."""
+
+    #: simulated seconds of zero progress after which a gather fails
+    STALL_TIMEOUT = 10.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        address: MacAddress,
+        spec: CardSpec = IDEAL_INIC,
+        cpu: Optional[CPU] = None,
+        name: str = "inic",
+    ):
+        self.sim = sim
+        self.address = address
+        self.spec = spec
+        self.cpu = cpu
+        self.name = name
+        self.stats = CardStats()
+
+        self.fabric = FPGAFabric(sim, list(spec.devices), name=f"{name}.fpga")
+        self.memory = INICMemory(
+            sim, spec.memory_bytes, spec.memory_bandwidth, name=f"{name}.mem"
+        )
+        if spec.shared_bus:
+            # Section 6: "a single 132 MB/s bus used to access both the
+            # Gigabit Ethernet and host memory" — every crossing contends.
+            bus = FCFSBus(
+                sim,
+                bandwidth=spec.host_rate,
+                arbitration_latency=DEFAULT_ARBITRATION,
+                name=f"{name}.bus",
+            )
+            self.host_tx = self.host_rx = self.net_tx = self.net_rx = bus
+        else:
+            # Ideal single-chip INIC: independent DMA engines per
+            # direction, each at the measured-derated Eq. (6)-(9) rates.
+            self.host_tx = FairShareBus(
+                sim, spec.host_rate, DEFAULT_ARBITRATION, name=f"{name}.host-tx"
+            )
+            self.host_rx = FairShareBus(
+                sim, spec.host_rate, DEFAULT_ARBITRATION, name=f"{name}.host-rx"
+            )
+            self.net_tx = FairShareBus(
+                sim, spec.net_rate, DEFAULT_ARBITRATION, name=f"{name}.net-tx"
+            )
+            self.net_rx = FairShareBus(
+                sim, spec.net_rate, DEFAULT_ARBITRATION, name=f"{name}.net-rx"
+            )
+
+        self.design: Optional[Design] = None
+        self._wire_out: Optional[Wire] = None
+
+        self._scatter_q: Store = Store(sim, name=f"{name}.scatters")
+        self._egress_q: Store = Store(sim, capacity=8, name=f"{name}.egress")
+        self._rx_q: Store = Store(sim, name=f"{name}.rx")
+        self._gathers: dict[int, GatherOp] = {}
+        self._pending_rx: dict[int, deque[Frame]] = {}
+        self._mem_in_use = 0.0
+        #: per-destination unacknowledged bytes (flow control)
+        self._outstanding: dict[int, float] = {}
+        self._credit_wakeups: dict[int, Event] = {}
+
+        sim.process(self._ingest_loop(), name=f"{name}.ingest")
+        sim.process(self._egress_loop(), name=f"{name}.egress")
+        sim.process(self._rx_loop(), name=f"{name}.rxloop")
+
+    # -- configuration --------------------------------------------------------------
+    def configure(self, design: Design):
+        """Generator: load ``design`` onto the fabric (fit check + time)."""
+        yield from self.fabric.configure(design, design.clbs, design.ram_kbits)
+        self.design = design
+        return design
+
+    def require_core(self, core_name: str):
+        if self.design is None:
+            raise ConfigurationError(f"{self.name}: no design configured")
+        return self.design.core(core_name)
+
+    def datapath_rate(self, path_rate: float) -> float:
+        """Effective stream rate: the slower of the bus path and the
+        configured design's slowest core."""
+        rate = path_rate
+        if self.design is not None:
+            for core in self.design.cores:
+                rate = min(rate, core.rate(self.fabric.clock_hz))
+        return rate
+
+    # -- fabric station interface -----------------------------------------------------
+    def attach_wire(self, wire: Wire) -> None:
+        if self._wire_out is not None:
+            raise ConfigurationError(f"{self.name}: wire already attached")
+        self._wire_out = wire
+
+    def receive_frame(self, frame: Frame) -> None:
+        if frame.kind == "inic-credit":
+            # Flow-control credit: free window toward that destination.
+            dst = frame.src.value
+            self._outstanding[dst] = max(
+                0.0, self._outstanding.get(dst, 0.0) - frame.meta["credit"]
+            )
+            wake = self._credit_wakeups.pop(dst, None)
+            if wake is not None:
+                wake.succeed(None)
+            return
+        self._rx_q.put(frame)
+
+    # -- operation posting ---------------------------------------------------------------
+    def post_scatter(
+        self,
+        tag: int,
+        blocks: list[SendBlock],
+        window_bytes: Optional[int] = None,
+    ) -> ScatterOp:
+        """Post a scatter descriptor (free for the host CPU).
+
+        ``window_bytes`` overrides the card's per-destination flow
+        window for this operation (incast-heavy collectives pass a
+        smaller one so the fabric's no-loss invariant holds).
+        """
+        if not blocks:
+            raise OffloadError("scatter with no blocks")
+        op = ScatterOp(self.sim, tag, blocks, window_bytes)
+        self._scatter_q.put(op)
+        return op
+
+    def post_gather(
+        self,
+        tag: int,
+        plan: TransferPlan,
+        assemble: Optional[Callable[[dict[int, list]], Any]] = None,
+        reduce_core=None,
+    ) -> GatherOp:
+        """Post a gather descriptor for phase ``tag``."""
+        if tag in self._gathers:
+            raise OffloadError(f"gather tag {tag} already active")
+        op = GatherOp(self.sim, tag, plan, assemble, reduce_core)
+        self._gathers[tag] = op
+        self.sim.process(self._gather_watch(op), name=f"{self.name}.gw{tag}")
+        # Replay frames that arrived before the gather was posted.
+        backlog = self._pending_rx.pop(tag, None)
+        if backlog:
+            for frame in backlog:
+                self._account_rx(op, frame)
+        return op
+
+    # -- send datapath ------------------------------------------------------------------
+    def _chunks_of(self, nbytes: int, window: Optional[int] = None) -> list[int]:
+        pkt = self.spec.proto.packet_size
+        n_packets = -(-nbytes // pkt)
+        q = choose_quantum(
+            n_packets,
+            self.spec.proto.quantum_target_events,
+            self.spec.proto.max_quantum,
+        )
+        chunk = q * pkt
+        if window is not None:
+            # Keep several chunks in flight inside one window so the
+            # credit round trip (which returns per chunk) never drains
+            # the pipeline: chunk <= window/4.
+            chunk = max(pkt, min(chunk, window // 4))
+        sizes = []
+        left = nbytes
+        while left > 0:
+            sizes.append(min(chunk, left))
+            left -= sizes[-1]
+        return sizes
+
+    def _track_mem(self, delta: float) -> None:
+        self._mem_in_use += delta
+        self.stats.peak_memory_bytes = max(
+            self.stats.peak_memory_bytes, self._mem_in_use
+        )
+
+    def _ingest_loop(self):
+        """host memory -> (transform cores) -> card memory, chunked."""
+        ingest_rate_fn = lambda: self.datapath_rate(self.host_tx.bandwidth)
+        while True:
+            op: ScatterOp = yield self._scatter_q.get()
+            window = op.window_bytes or self.spec.flow_window
+            for block in op.blocks:
+                sizes = self._chunks_of(block.nbytes, window)
+                pkt = self.spec.proto.packet_size
+                for i, size in enumerate(sizes):
+                    yield self.host_tx.transfer(size)
+                    # The datapath cores run inline; if the slowest core is
+                    # slower than the bus, the stream stalls to its rate.
+                    extra = size / ingest_rate_fn() - size / self.host_tx.bandwidth
+                    if extra > 1e-12:
+                        yield self.sim.timeout(extra)
+                    self.stats.bytes_ingested += size
+                    self._track_mem(size)
+                    last = i == len(sizes) - 1
+                    yield self._egress_q.put(
+                        _EgressChunk(op, block, size, last)
+                    )
+
+    def _egress_loop(self):
+        """card memory -> (packetize) -> MAC -> wire, chunked."""
+        proto = self.spec.proto
+        while True:
+            chunk: _EgressChunk = yield self._egress_q.get()
+            op, block = chunk.op, chunk.block
+            if block.dst == self.address:
+                # Self-addressed block: loops back inside the card
+                # (host->card->host), never touching the MAC.
+                self._track_mem(-chunk.size)
+                self._local_deliver(op, block, chunk)
+                continue
+            # Flow control: never exceed the per-destination window of
+            # unacknowledged bytes (broadcast is exempt — one stream per
+            # port, no incast).
+            if not block.dst.is_broadcast:
+                window = op.window_bytes or self.spec.flow_window
+                dst = block.dst.value
+                while self._outstanding.get(dst, 0.0) + chunk.size > window:
+                    wake = self.sim.event(name=f"{self.name}.credit")
+                    self._credit_wakeups[dst] = wake
+                    yield wake
+                self._outstanding[dst] = (
+                    self._outstanding.get(dst, 0.0) + chunk.size
+                )
+            yield self.net_tx.transfer(chunk.size)
+            self._track_mem(-chunk.size)
+            if self._wire_out is None:
+                raise OffloadError(f"{self.name}: egress with no wire attached")
+            n_packets = -(-chunk.size // proto.packet_size)
+            frame = Frame(
+                src=self.address,
+                dst=block.dst,
+                payload_bytes=chunk.size,
+                headers=proto.headers,
+                frame_count=n_packets,
+                kind="inic",
+                payload=block.data if chunk.last else None,
+                meta={"op": op.tag, "last": chunk.last, "total": block.nbytes},
+            )
+            self._wire_out.send(frame)
+            self.stats.frames_sent += n_packets
+            self.stats.bytes_egressed += chunk.size
+            if chunk.last and block is op.blocks[-1]:
+                op.sent.succeed(None)
+
+    def _local_deliver(self, op: ScatterOp, block: SendBlock, chunk) -> None:
+        gather = self._gathers.get(op.tag)
+        frame = Frame(
+            src=self.address,
+            dst=self.address,
+            payload_bytes=chunk.size,
+            headers=0,
+            kind="inic-local",
+            payload=block.data if chunk.last else None,
+            meta={"op": op.tag, "last": chunk.last, "total": block.nbytes},
+        )
+        if gather is None:
+            self._pending_rx.setdefault(op.tag, deque()).append(frame)
+        else:
+            self._account_rx(gather, frame)
+        if chunk.last and block is op.blocks[-1]:
+            op.sent.succeed(None)
+
+    # -- receive datapath ---------------------------------------------------------------
+    def _rx_loop(self):
+        """MAC -> (depacketize, transform) -> card memory, chunked."""
+        while True:
+            frame: Frame = yield self._rx_q.get()
+            # On the prototype the MAC shares the card bus, so arriving
+            # payloads cross it before reaching card memory; the ideal
+            # card's dedicated network path is modelled the same way.
+            yield self.net_rx.transfer(frame.payload_bytes)
+            self.stats.frames_received += frame.frame_count
+            self.stats.bytes_received += frame.payload_bytes
+            self._track_mem(frame.payload_bytes)
+            if not frame.dst.is_broadcast and self._wire_out is not None:
+                # Return a credit: the bytes have left the fabric.
+                self._wire_out.send(
+                    Frame(
+                        src=self.address,
+                        dst=frame.src,
+                        payload_bytes=0,
+                        headers=self.spec.proto.headers,
+                        kind="inic-credit",
+                        meta={"credit": frame.payload_bytes},
+                    )
+                )
+            tag = frame.meta["op"]
+            gather = self._gathers.get(tag)
+            if gather is None:
+                self._pending_rx.setdefault(tag, deque()).append(frame)
+            else:
+                self._account_rx(gather, frame)
+
+    def _account_rx(self, op: GatherOp, frame: Frame) -> None:
+        op.plan.account(frame.src, frame.payload_bytes)
+        op.pending_delivery += frame.payload_bytes
+        if frame.meta.get("last"):
+            op.store_payload(frame.src, frame.payload)
+
+    def _gather_watch(self, op: GatherOp):
+        """Deliver card->host in DMA-threshold granules; finish with a
+        single completion interrupt."""
+        threshold = float(self.spec.dma_threshold)
+        plan_done = op.plan.complete
+        while True:
+            if op.pending_delivery >= threshold:
+                take = threshold
+            elif plan_done.processed and op.pending_delivery > 0:
+                take = op.pending_delivery
+            elif plan_done.processed:
+                break
+            else:
+                # Wait for more arrivals or completion; poll on delivery
+                # progress via a short event rendezvous with the rx loop.
+                received = op.plan.total_received()
+                if received == op.last_seen_received:
+                    op.stalled_polls += 1
+                    if op.stalled_polls * self._poll_dt() > self.STALL_TIMEOUT:
+                        err = OffloadError(
+                            f"{self.name}: gather #{op.tag} stalled at "
+                            f"{received}/{op.plan.total_expected()} bytes — "
+                            "data lost in the fabric (flow-control window "
+                            "too large for this traffic pattern?)"
+                        )
+                        self._gathers.pop(op.tag, None)
+                        op.done.fail(err)
+                        return
+                else:
+                    op.stalled_polls = 0
+                    op.last_seen_received = received
+                yield self.sim.any_of([plan_done, self.sim.timeout(self._poll_dt())])
+                continue
+            yield self.host_rx.transfer(take)
+            op.pending_delivery -= take
+            op.delivered_bytes += take
+            self._track_mem(-take)
+            self.stats.bytes_delivered += take
+        # Single completion interrupt for the whole operation.
+        self.stats.completion_interrupts += 1
+        if self.cpu is not None:
+            self.cpu.steal(self.spec.completion_irq_cost)
+        self._gathers.pop(op.tag, None)
+        op.done.succeed(op.result())
+
+    def _poll_dt(self) -> float:
+        """Polling granule for the delivery engine: time for one DMA
+        threshold to arrive at the network rate."""
+        return self.spec.dma_threshold / self.net_rx.bandwidth
+
+    # -- compute-accelerator mode -----------------------------------------------------------
+    def compute(self, data, kernel: Callable, in_bytes: int, out_bytes: int) -> Event:
+        """Run ``kernel(data)`` on the card: DMA in, process, DMA out.
+
+        Used in COMPUTE mode (Section 2): the FPGAs as an application
+        accelerator with a separate path to host memory for networking.
+        """
+        if in_bytes < 1 or out_bytes < 0:
+            raise OffloadError("bad compute transfer sizes")
+        done = self.sim.event(name=f"{self.name}.compute")
+
+        def proc():
+            yield self.host_tx.transfer(in_bytes)
+            rate = self.datapath_rate(self.memory.bandwidth)
+            yield self.sim.timeout(max(in_bytes, out_bytes) / rate)
+            result = kernel(data)
+            if out_bytes > 0:
+                yield self.host_rx.transfer(out_bytes)
+            if self.cpu is not None:
+                self.cpu.steal(self.spec.completion_irq_cost)
+            self.stats.completion_interrupts += 1
+            done.succeed(result)
+
+        self.sim.process(proc(), name=f"{self.name}.compute")
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<INICCard {self.name!r} spec={self.spec.name} addr={self.address}>"
+
+
+class _EgressChunk:
+    __slots__ = ("op", "block", "size", "last")
+
+    def __init__(self, op: ScatterOp, block: SendBlock, size: int, last: bool):
+        self.op = op
+        self.block = block
+        self.size = size
+        self.last = last

@@ -1,0 +1,30 @@
+"""Stream-core library for INIC designs."""
+
+from .base import CoreSpec, StreamCore
+from .bucketsort import BucketSortCore, bucket_sort_core_clbs, max_buckets_for_clbs
+from .collective import REDUCE_OPS, BroadcastCore, ReduceCore
+from .datatype import DatatypeEngineCore, IndexedLayout, VectorLayout
+from .fifo import FIFOCore
+from .packetizer import DepacketizerCore, PacketizerCore
+from .permute import FinalPermutationCore
+from .transpose import LocalTransposeCore, local_transpose_blocks
+
+__all__ = [
+    "BroadcastCore",
+    "BucketSortCore",
+    "CoreSpec",
+    "DatatypeEngineCore",
+    "DepacketizerCore",
+    "FIFOCore",
+    "FinalPermutationCore",
+    "IndexedLayout",
+    "LocalTransposeCore",
+    "PacketizerCore",
+    "REDUCE_OPS",
+    "ReduceCore",
+    "StreamCore",
+    "VectorLayout",
+    "bucket_sort_core_clbs",
+    "local_transpose_blocks",
+    "max_buckets_for_clbs",
+]

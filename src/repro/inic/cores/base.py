@@ -1,0 +1,69 @@
+"""Stream-core abstraction.
+
+A *stream core* is a hardware function block in the INIC datapath
+(the rectangles of Figures 2(b), 3(b) and 7): it transforms data at a
+fixed number of bytes per fabric clock cycle as the data flows through.
+
+Cores are **functional**: ``apply(...)`` really performs the transform
+on numpy data (so simulated applications produce bit-correct results),
+while ``processing_time`` yields the simulated cost of streaming bytes
+through the block.  A passive core in the datapath costs zero *extra*
+time whenever its rate exceeds the surrounding transfer rates — the
+paper's "processing data as it passes through the device at zero cost"
+(Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ...errors import ConfigurationError
+
+__all__ = ["CoreSpec", "StreamCore"]
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static properties of a core design."""
+
+    name: str
+    clbs: int
+    ram_kbits: int
+    bytes_per_cycle: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.clbs < 0 or self.ram_kbits < 0:
+            raise ConfigurationError(f"core {self.name!r}: negative resources")
+        if self.bytes_per_cycle <= 0:
+            raise ConfigurationError(f"core {self.name!r}: bad throughput")
+
+
+class StreamCore:
+    """Base class: identity transform at ``bytes_per_cycle``."""
+
+    def __init__(self, spec: CoreSpec):
+        self.spec = spec
+        #: bytes pushed through this core (statistics)
+        self.bytes_processed = 0.0
+
+    def rate(self, clock_hz: float) -> float:
+        """Streaming throughput in bytes/s at the given fabric clock."""
+        if clock_hz <= 0:
+            raise ConfigurationError("clock must be > 0")
+        return self.spec.bytes_per_cycle * clock_hz
+
+    def processing_time(self, nbytes: float, clock_hz: float) -> float:
+        """Seconds to stream ``nbytes`` through the core."""
+        if nbytes < 0:
+            raise ConfigurationError("negative byte count")
+        return nbytes / self.rate(clock_hz)
+
+    def apply(self, data: Any, **context: Any) -> Any:
+        """Functional transform (identity by default)."""
+        self.bytes_processed += getattr(data, "nbytes", 0)
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.spec.name!r} {self.spec.clbs} CLBs>"

@@ -1,0 +1,96 @@
+"""Bucket-sort stream core (Figures 3(b) and 7).
+
+Streams 32-bit keys into ``n_buckets`` bins by their top bits, as the
+data crosses the card.  Resource usage grows with the bucket count (each
+bucket needs a bin FIFO, a fill counter and a memory region pointer), so
+the bucket count a card can support is decided by CLB arithmetic against
+its FPGA fabric — this is exactly why the prototype "must be performed
+in two phases.  The card sorts the data into 16 buckets and the host
+sorts each of those buckets into N buckets" (Section 6).
+
+``apply`` does the real binning with numpy; keys are assumed uniform
+32-bit unsigned (Section 3.2's workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import OffloadError
+from .base import CoreSpec, StreamCore
+
+__all__ = ["BucketSortCore", "bucket_sort_core_clbs", "max_buckets_for_clbs"]
+
+#: control/state machine cost independent of bucket count
+_BASE_CLBS = 512
+#: per-bucket cost: bin FIFO, threshold counter, region pointer
+_PER_BUCKET_CLBS = 64
+#: per-bucket on-chip staging (kilobits)
+_PER_BUCKET_RAM_KBITS = 0.5
+
+
+def bucket_sort_core_clbs(n_buckets: int) -> int:
+    """CLBs needed for an ``n_buckets`` binning core."""
+    if n_buckets < 2:
+        raise OffloadError("bucket sort needs at least 2 buckets")
+    return _BASE_CLBS + _PER_BUCKET_CLBS * n_buckets
+
+
+def max_buckets_for_clbs(clb_budget: int) -> int:
+    """Largest power-of-two bucket count fitting in ``clb_budget`` CLBs."""
+    n = 2
+    while bucket_sort_core_clbs(n * 2) <= clb_budget:
+        n *= 2
+    if bucket_sort_core_clbs(n) > clb_budget:
+        raise OffloadError(f"not even 2 buckets fit in {clb_budget} CLBs")
+    return n
+
+
+class BucketSortCore(StreamCore):
+    """Bins a stream of uint32 keys by their ``log2(n_buckets)`` top bits."""
+
+    def __init__(self, n_buckets: int):
+        if n_buckets < 2 or n_buckets & (n_buckets - 1):
+            raise OffloadError(
+                f"bucket count must be a power of two >= 2, got {n_buckets}"
+            )
+        self.n_buckets = n_buckets
+        super().__init__(
+            CoreSpec(
+                name=f"bucket-sort-{n_buckets}",
+                clbs=bucket_sort_core_clbs(n_buckets),
+                ram_kbits=int(_PER_BUCKET_RAM_KBITS * n_buckets) + 8,
+                bytes_per_cycle=4.0,  # one 32-bit key per cycle
+                description=f"{n_buckets}-way top-bits binning",
+            )
+        )
+
+    @property
+    def shift(self) -> int:
+        return 32 - self.n_buckets.bit_length() + 1
+
+    def bucket_of(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket index per key (vectorized)."""
+        return (keys.astype(np.uint32) >> np.uint32(self.shift)).astype(np.int64)
+
+    def apply(self, data: np.ndarray, **context) -> list[np.ndarray]:
+        """Bin ``data`` (uint32 keys); returns a list of per-bucket arrays.
+
+        The concatenation of the buckets is a permutation of the input,
+        and every key in bucket b is smaller than every key in bucket
+        b+1 with respect to the top bits — the invariants the tests and
+        the host-side count sort rely on.
+        """
+        keys = np.asarray(data)
+        if keys.dtype != np.uint32:
+            raise OffloadError(f"bucket sort expects uint32 keys, got {keys.dtype}")
+        self.bytes_processed += keys.nbytes
+        idx = self.bucket_of(keys)
+        order = np.argsort(idx, kind="stable")
+        sorted_by_bucket = keys[order]
+        counts = np.bincount(idx, minlength=self.n_buckets)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        return [
+            sorted_by_bucket[bounds[b] : bounds[b + 1]]
+            for b in range(self.n_buckets)
+        ]

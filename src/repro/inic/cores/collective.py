@@ -1,0 +1,79 @@
+"""Collective-operation cores (the paper's future work, Section 8).
+
+"The implications of this architecture are far reaching, with the
+potential to accelerate functions ranging from collective operations to
+MPI derived data types..."  These cores realize that extension: reduce
+and broadcast elements processed in the NIC datapath, so a cluster-wide
+allreduce costs each host a single descriptor post and a single
+completion interrupt.
+
+``ReduceCore.apply`` combines two operand arrays element-wise at stream
+rate; the card applies it to each arriving contribution against its
+accumulator (see :meth:`repro.inic.card.INICCard.reduce_accumulate`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ...errors import OffloadError
+from .base import CoreSpec, StreamCore
+
+__all__ = ["ReduceCore", "BroadcastCore", "REDUCE_OPS"]
+
+REDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+class ReduceCore(StreamCore):
+    """Element-wise reduction in the datapath."""
+
+    def __init__(self, op: str = "sum", element_bytes: int = 8):
+        if op not in REDUCE_OPS:
+            raise OffloadError(f"unknown reduce op {op!r}; have {sorted(REDUCE_OPS)}")
+        if element_bytes not in (4, 8):
+            raise OffloadError("reduce supports 4- or 8-byte elements")
+        self.op = op
+        self.element_bytes = element_bytes
+        super().__init__(
+            CoreSpec(
+                name=f"reduce-{op}",
+                clbs=900 if element_bytes == 8 else 600,
+                ram_kbits=32,
+                # one element in + one accumulator read per cycle
+                bytes_per_cycle=float(element_bytes),
+                description=f"streaming {op} over {element_bytes}-byte elements",
+            )
+        )
+
+    def apply(self, data: np.ndarray, accumulator: np.ndarray = None, **context):
+        arr = np.asarray(data)
+        self.bytes_processed += arr.nbytes
+        if accumulator is None:
+            return arr.copy()
+        if accumulator.shape != arr.shape:
+            raise OffloadError(
+                f"reduce shape mismatch {accumulator.shape} vs {arr.shape}"
+            )
+        return REDUCE_OPS[self.op](accumulator, arr)
+
+
+class BroadcastCore(StreamCore):
+    """Replicates one stream to all peers (switch-assisted fan-out)."""
+
+    def __init__(self):
+        super().__init__(
+            CoreSpec(
+                name="broadcast",
+                clbs=300,
+                ram_kbits=16,
+                bytes_per_cycle=8.0,
+                description="replicated transmit of one card-memory region",
+            )
+        )

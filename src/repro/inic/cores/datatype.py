@@ -1,0 +1,115 @@
+"""MPI derived-datatype engine (the paper's future work, Section 8).
+
+Gathers strided/indexed host-memory regions into a contiguous stream on
+the way out (and scatters on the way in) — the NIC-side realization of
+MPI derived datatypes, so non-contiguous sends cost no host pack/unpack
+pass.
+
+The functional model supports the two classic layouts:
+
+* ``VectorLayout`` — count blocks of ``blocklen`` elements every
+  ``stride`` elements (``MPI_Type_vector``),
+* ``IndexedLayout`` — explicit block offsets (``MPI_Type_indexed``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import OffloadError
+from .base import CoreSpec, StreamCore
+
+__all__ = ["VectorLayout", "IndexedLayout", "DatatypeEngineCore"]
+
+
+@dataclass(frozen=True)
+class VectorLayout:
+    """count blocks of blocklen elements, start-to-start stride elements."""
+
+    count: int
+    blocklen: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or self.blocklen < 1:
+            raise OffloadError("vector layout needs positive count/blocklen")
+        if self.stride < self.blocklen:
+            raise OffloadError("vector stride smaller than block length")
+
+    def indices(self) -> np.ndarray:
+        base = np.arange(self.count)[:, None] * self.stride
+        offs = np.arange(self.blocklen)[None, :]
+        return (base + offs).ravel()
+
+    @property
+    def elements(self) -> int:
+        return self.count * self.blocklen
+
+
+@dataclass(frozen=True)
+class IndexedLayout:
+    """Explicit (offset, blocklen) pairs, in element units."""
+
+    offsets: tuple[int, ...]
+    blocklens: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != len(self.blocklens) or not self.offsets:
+            raise OffloadError("indexed layout needs matching non-empty lists")
+        if any(b < 1 for b in self.blocklens):
+            raise OffloadError("indexed block lengths must be positive")
+
+    def indices(self) -> np.ndarray:
+        parts = [
+            np.arange(off, off + blen)
+            for off, blen in zip(self.offsets, self.blocklens)
+        ]
+        return np.concatenate(parts)
+
+    @property
+    def elements(self) -> int:
+        return int(sum(self.blocklens))
+
+
+class DatatypeEngineCore(StreamCore):
+    """Gather/scatter address generator in the DMA path."""
+
+    def __init__(self):
+        super().__init__(
+            CoreSpec(
+                name="datatype-engine",
+                clbs=800,
+                ram_kbits=64,
+                bytes_per_cycle=8.0,
+                description="strided/indexed gather-scatter DMA addressing",
+            )
+        )
+
+    def gather(self, source: np.ndarray, layout) -> np.ndarray:
+        """Pack ``layout`` elements of ``source`` into a contiguous array."""
+        flat = np.ascontiguousarray(source).ravel()
+        idx = layout.indices()
+        if idx.max() >= flat.size:
+            raise OffloadError(
+                f"layout reaches element {int(idx.max())} of a {flat.size}-element buffer"
+            )
+        out = flat[idx].copy()
+        self.bytes_processed += out.nbytes
+        return out
+
+    def scatter(self, packed: np.ndarray, layout, target: np.ndarray) -> None:
+        """Unpack a contiguous array into ``layout`` positions of ``target``."""
+        flat = target.ravel()
+        idx = layout.indices()
+        if idx.max() >= flat.size:
+            raise OffloadError(
+                f"layout reaches element {int(idx.max())} of a {flat.size}-element buffer"
+            )
+        if packed.size != idx.size:
+            raise OffloadError(
+                f"packed size {packed.size} != layout elements {idx.size}"
+            )
+        flat[idx] = packed
+        self.bytes_processed += packed.nbytes

@@ -1,0 +1,126 @@
+"""FPGA fabric model: resource budget, clocking, reconfiguration.
+
+The prototype's reconfigurable logic is a pair of Xilinx 4085XLA parts —
+"an older generation of reconfigurable logic" (Section 5) whose density
+forces the two-phase bucket sort of Section 6 ("the Xilinx 4085XLA
+devices we have are not dense enough to perform the full bucket sort on
+the INIC").  The ideal INIC of Section 4 assumes a then-next-generation
+(Virtex-class) part.
+
+We model an FPGA as a budget of CLBs and on-chip RAM kilobits, a clock,
+and a configuration (bitstream load) time.  Designs composed of cores
+(:mod:`repro.inic.bitstream`) must fit the budget; ``configure`` charges
+the reconfiguration latency — which matters when an application switches
+the card between modes mid-run (an ablation the paper's mode taxonomy in
+Section 2 invites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FPGAResourceError
+from ..sim.engine import Simulator
+
+__all__ = ["FPGADevice", "XILINX_4085XLA", "VIRTEX_1000", "FPGAFabric"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """One FPGA part."""
+
+    part: str
+    clbs: int  # configurable logic blocks
+    ram_kbits: int  # on-chip RAM
+    clock_hz: float  # achievable design clock
+    config_time: float  # full bitstream load, seconds
+
+    def __post_init__(self) -> None:
+        if self.clbs <= 0 or self.ram_kbits < 0:
+            raise FPGAResourceError(f"{self.part}: bad resource counts")
+        if self.clock_hz <= 0 or self.config_time < 0:
+            raise FPGAResourceError(f"{self.part}: bad timing parameters")
+
+
+#: the prototype's part (XC4085XLA: 56x56 CLB array, no block RAM —
+#: distributed LUT RAM only: each CLB can hold 32 bits, ~100 kbit total,
+#: rounded up for the control CLBs we do not model individually)
+XILINX_4085XLA = FPGADevice(
+    part="XC4085XLA",
+    clbs=3136,
+    ram_kbits=160,
+    clock_hz=50e6,
+    config_time=0.120,
+)
+
+#: the "next generation" part the Section-4 analysis assumes
+VIRTEX_1000 = FPGADevice(
+    part="XCV1000",
+    clbs=12288,
+    ram_kbits=512,
+    clock_hz=100e6,
+    config_time=0.080,
+)
+
+
+class FPGAFabric:
+    """The card's reconfigurable resources: one or more devices."""
+
+    def __init__(self, sim: Simulator, devices: list[FPGADevice], name: str = "fpga"):
+        if not devices:
+            raise FPGAResourceError("fabric needs at least one device")
+        self.sim = sim
+        self.devices = list(devices)
+        self.name = name
+        self._configured: object = None
+        self.configurations = 0
+
+    @property
+    def total_clbs(self) -> int:
+        return sum(d.clbs for d in self.devices)
+
+    @property
+    def total_ram_kbits(self) -> int:
+        return sum(d.ram_kbits for d in self.devices)
+
+    @property
+    def clock_hz(self) -> float:
+        """Design clock = slowest device's achievable clock."""
+        return min(d.clock_hz for d in self.devices)
+
+    @property
+    def config_time(self) -> float:
+        """Devices configure in parallel; the slowest bounds the time."""
+        return max(d.config_time for d in self.devices)
+
+    @property
+    def current_design(self) -> object:
+        return self._configured
+
+    def fits(self, clbs: int, ram_kbits: int) -> bool:
+        return clbs <= self.total_clbs and ram_kbits <= self.total_ram_kbits
+
+    def check_fit(self, clbs: int, ram_kbits: int, what: str = "design") -> None:
+        if clbs > self.total_clbs:
+            raise FPGAResourceError(
+                f"{what} needs {clbs} CLBs but fabric {self.name!r} has "
+                f"{self.total_clbs}"
+            )
+        if ram_kbits > self.total_ram_kbits:
+            raise FPGAResourceError(
+                f"{what} needs {ram_kbits} kbit RAM but fabric {self.name!r} "
+                f"has {self.total_ram_kbits}"
+            )
+
+    def configure(self, design, clbs: int, ram_kbits: int):
+        """Generator: load ``design`` (checks fit, charges config time)."""
+        self.check_fit(clbs, ram_kbits, getattr(design, "name", "design"))
+        if self.config_time > 0:
+            yield self.sim.timeout(self.config_time)
+        self._configured = design
+        self.configurations += 1
+        return design
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = "+".join(d.part for d in self.devices)
+        return f"<FPGAFabric {self.name!r} {parts} {self.total_clbs} CLBs>"

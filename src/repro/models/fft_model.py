@@ -1,0 +1,141 @@
+"""The paper's FFT analytical model — Equations (3) through (10).
+
+Implemented exactly as printed, term by term, with the paper's own
+binary-unit rates (``80 x 1024 x 1024`` bytes/s etc.) supplied from
+:class:`~repro.models.params.MachineParams`.  Used to regenerate
+Figure 4(a) (speedups) and Figure 4(b) (transpose decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ApplicationError
+from ..hw.memory import MemoryHierarchy
+from .params import (
+    DEFAULT_PARAMS,
+    MachineParams,
+    fft_compute_time,
+    interleave_time,
+    local_transpose_time,
+)
+
+__all__ = [
+    "partition_bytes",
+    "t_dtc",
+    "t_dtg",
+    "t_dfg",
+    "t_dth",
+    "inic_transpose_time",
+    "fft_compute_total",
+    "inic_fft_time",
+    "serial_fft_time",
+    "FFTModelPoint",
+    "inic_fft_series",
+]
+
+
+def partition_bytes(rows: int, p: int, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (5): S = rows^2 * 16 / P."""
+    if rows < 1 or p < 1:
+        raise ApplicationError("rows and P must be positive")
+    return rows * rows * params.complex_bytes / p
+
+
+def t_dtc(s: float, p: int, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (6): host memory -> FPGA memory pipeline fill, (S/P)/80MiB."""
+    return (s / p) / params.host_card_rate
+
+
+def t_dtg(s: float, p: int, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (7): FPGA memory -> network pipeline fill, (S/P)/90MiB."""
+    return (s / p) / params.card_net_rate
+
+
+def t_dfg(s: float, p: int, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (8): receive from network, ((P-1)*S/P)/90MiB."""
+    return ((p - 1) * s / p) / params.card_net_rate
+
+
+def t_dth(s: float, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (9): final copy to host, S/80MiB."""
+    return s / params.host_card_rate
+
+
+def inic_transpose_time(
+    rows: int, p: int, params: MachineParams = DEFAULT_PARAMS
+) -> float:
+    """Eq. (10): both transposes, 2 x (Tdtc + Tdtg + Tdfg + Tdth)."""
+    s = partition_bytes(rows, p, params)
+    return 2.0 * (
+        t_dtc(s, p, params) + t_dtg(s, p, params) + t_dfg(s, p, params) + t_dth(s, params)
+    )
+
+
+def fft_compute_total(
+    rows: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Eq. (4): 2 x T1D-FFT(rows) x rows / P, with the cache-fit rate."""
+    return 2.0 * fft_compute_time(params, hierarchy, rows // p, rows)
+
+
+def inic_fft_time(
+    rows: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Eq. (3): T = Tcompute + Ttrans for the ideal INIC."""
+    return fft_compute_total(rows, p, hierarchy, params) + inic_transpose_time(
+        rows, p, params
+    )
+
+
+def serial_fft_time(
+    rows: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Single-node reference: two row-FFT passes plus two in-memory
+    transposes (the speedup denominator for every curve)."""
+    nbytes = rows * rows * params.complex_bytes
+    return fft_compute_total(rows, 1, hierarchy, params) + 2.0 * (
+        local_transpose_time(params, hierarchy, nbytes)
+        + interleave_time(params, hierarchy, nbytes)
+    )
+
+
+@dataclass(frozen=True)
+class FFTModelPoint:
+    """One (P) point of the Fig. 4(b) decomposition."""
+
+    p: int
+    partition_kib: float
+    compute_time: float
+    inic_transpose_time: float
+
+
+def inic_fft_series(
+    rows: int,
+    procs: list[int],
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> list[FFTModelPoint]:
+    """The Fig. 4(b) series for one matrix size."""
+    out = []
+    for p in procs:
+        if rows % p != 0:
+            raise ApplicationError(f"{rows} rows do not distribute over {p}")
+        s = partition_bytes(rows, p, params)
+        out.append(
+            FFTModelPoint(
+                p=p,
+                partition_kib=s / 1024.0,
+                compute_time=fft_compute_total(rows, p, hierarchy, params),
+                inic_transpose_time=inic_transpose_time(rows, p, params),
+            )
+        )
+    return out

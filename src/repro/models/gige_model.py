@@ -1,0 +1,137 @@
+"""Closed-form baseline (TCP over Gigabit / Fast Ethernet) time model.
+
+The DES is the authoritative baseline; this closed form exists so the
+*analytic* Figure-4/5 comparisons (which the paper draws entirely from
+models) have a matching analytic opponent, and so calibration can
+cross-check the DES.  Structure:
+
+    per-node all-to-all time = payload / effective_rate
+                             + (P-1) x per_message_overhead
+
+where the per-message overhead term captures everything the paper
+blames on TCP for small partitions: slow-start restart, interrupt
+mitigation latency, per-packet host costs.  Because the overhead term
+scales with P while payload shrinks as 1/P, communication time stops
+falling with partition size — "the line representing partition size has
+a steeper slope than the one representing communication time"
+(Section 4.1).
+"""
+
+from __future__ import annotations
+
+from ..errors import ApplicationError
+from ..hw.memory import MemoryHierarchy
+from .params import (
+    DEFAULT_PARAMS,
+    MachineParams,
+    bucket_sort_time,
+    count_sort_time,
+    fft_compute_time,
+    interleave_time,
+    local_transpose_time,
+)
+
+__all__ = [
+    "tcp_alltoall_time",
+    "gige_fft_time",
+    "gige_sort_time",
+    "fe_fft_time",
+]
+
+
+def tcp_alltoall_time(
+    partition_bytes: float,
+    p: int,
+    rate: float,
+    per_message_overhead: float,
+) -> float:
+    """Per-node wall time of a balanced all-to-all of one partition."""
+    if p < 1:
+        raise ApplicationError("P must be >= 1")
+    if p == 1:
+        return 0.0
+    payload = partition_bytes * (p - 1) / p
+    return payload / rate + (p - 1) * per_message_overhead
+
+
+def _fft_host_transpose(
+    rows: int, p: int, hierarchy: MemoryHierarchy, params: MachineParams
+) -> float:
+    panel_bytes = rows * rows * params.complex_bytes / p
+    return local_transpose_time(params, hierarchy, panel_bytes) + interleave_time(
+        params, hierarchy, panel_bytes
+    )
+
+
+def _tcp_fft_time(
+    rows: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams,
+    rate: float,
+    overhead: float,
+) -> float:
+    compute = 2.0 * fft_compute_time(params, hierarchy, rows // p, rows)
+    s = rows * rows * params.complex_bytes / p
+    per_transpose = tcp_alltoall_time(s, p, rate, overhead) + _fft_host_transpose(
+        rows, p, hierarchy, params
+    )
+    return compute + 2.0 * per_transpose
+
+
+def gige_fft_time(
+    rows: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """FFTW over MPI/TCP/GigE, per the calibrated closed form."""
+    return _tcp_fft_time(
+        rows,
+        p,
+        hierarchy,
+        params,
+        params.gige_tcp_bulk_rate,
+        params.gige_tcp_message_overhead,
+    )
+
+
+def fe_fft_time(
+    rows: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """FFTW over MPI/TCP/Fast-Ethernet."""
+    return _tcp_fft_time(
+        rows,
+        p,
+        hierarchy,
+        params,
+        params.fe_tcp_bulk_rate,
+        params.fe_tcp_message_overhead,
+    )
+
+
+def gige_sort_time(
+    e_init: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Parallel sort over TCP/GigE: both host bucket phases + comm +
+    count sort (the serialized decomposition of Fig. 5(a))."""
+    from .sort_model import receive_buckets, sort_partition_bytes
+
+    per_node = e_init // p
+    n = receive_buckets(e_init, p, params)
+    s = sort_partition_bytes(e_init, p, params)
+    comm = tcp_alltoall_time(
+        s, p, params.gige_tcp_bulk_rate, params.gige_tcp_message_overhead
+    )
+    return (
+        bucket_sort_time(params, hierarchy, per_node, p)
+        + comm
+        + bucket_sort_time(params, hierarchy, per_node, n)
+        + count_sort_time(params, hierarchy, per_node, bucket_keys=max(1, per_node // n))
+    )

@@ -1,0 +1,218 @@
+"""Every calibrated constant in one place, with provenance.
+
+Three provenance classes, marked on each field:
+
+* ``[paper]``     — a number printed in the paper (Eqs. 5-17, Section 5).
+* ``[era]``       — typical 2001 hardware (1 GHz Athlon, PC133, 32/33 PCI),
+                    from contemporary datasheets/folklore.
+* ``[calibrated]``— chosen so the *shapes* of Figures 4, 5 and 8 come out
+                    (who wins, rough factors, crossovers); documented in
+                    EXPERIMENTS.md.
+
+The DES gets most hardware numbers from :mod:`repro.cluster.builder` and
+:mod:`repro.inic.card`; this module centralizes the application cost
+models (host compute rates) and the Section-4 analytical-model rates so
+both the analytic and simulated reproductions draw from one source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.memory import AccessPattern, MemoryHierarchy
+from ..units import KiB, MiB, mib_per_s
+
+__all__ = [
+    "MachineParams",
+    "DEFAULT_PARAMS",
+    "fft_row_flops",
+    "fft_compute_time",
+    "bucket_sort_time",
+    "count_sort_time",
+    "local_transpose_time",
+    "interleave_time",
+]
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """The knobs shared by analytic models and DES cost functions."""
+
+    # --- Section 4 model rates -------------------------------------------------
+    #: [paper] Eq. (6)/(9): host <-> card, bytes/s ("80 x 1024 x 1024")
+    host_card_rate: float = mib_per_s(80)
+    #: [paper] Eq. (7)/(8): card <-> network, bytes/s ("90 x 1024 x 1024")
+    card_net_rate: float = mib_per_s(90)
+    #: [paper] Section 4.2: INIC protocol packet size, bytes
+    inic_packet: int = 1024
+    #: [paper] Eq. (15): minimum card->host DMA granule, bytes ("64 KB")
+    dma_threshold: int = 64 * KiB
+    #: [paper] element sizes: complex double = 16 B, int = 4 B
+    complex_bytes: int = 16
+    int_bytes: int = 4
+
+    # --- host compute rates -----------------------------------------------------
+    #: [era] node clock (1 GHz Athlon, Section 5)
+    clock_hz: float = 1e9
+    #: [calibrated] sustained FFT rate when the panel fits the named level.
+    #: FFTW on a 1 GHz Athlon sustained ~300-500 Mflop/s depending on fit.
+    fft_flops_rate_l1: float = 550e6
+    fft_flops_rate_l2: float = 430e6
+    fft_flops_rate_dram: float = 230e6
+    #: [calibrated] count-sort cost (Agarwal-style radix/count, Section 3.2):
+    #: cycles per key when buckets fit cache.  45 cyc/key at 1 GHz puts the
+    #: serial count sort of ~50 M keys at ~2.3 s — the Fig. 5(a) scale.
+    count_sort_cycles_per_key: float = 45.0
+    #: [calibrated] penalty multiplier when a bucket misses cache
+    count_sort_dram_penalty: float = 2.5
+    #: [calibrated] bucket-sort bytes moved per key per pass (read key +
+    #: random write into bin + amortized bin-pointer traffic); 10 B/key
+    #: puts the serial bucket sort of ~50 M keys "over 5 seconds"
+    #: (Section 4.2)
+    bucket_sort_bytes_per_key: float = 10.0
+    #: [calibrated] Section 6: refining the card's 16-way pre-split into N
+    #: buckets is cheaper than a cold 16xN-way host split ("Surprisingly,
+    #: this can provide higher performance") — fewer live bins per pass.
+    host_phase2_factor: float = 0.7
+
+    # --- baseline network model (for the analytic Fig. 4/5 curves) ---------------
+    #: [calibrated] effective GigE/TCP bulk payload bandwidth, bytes/s
+    #: (large flows through the 32/33 PCI + TCP stack plateau well below
+    #: line rate in 2001 practice)
+    gige_tcp_bulk_rate: float = 36e6
+    #: [calibrated] per-message overhead of TCP on GigE, seconds (syscall +
+    #: slow-start restart + interrupt-mitigation delay on short flows);
+    #: cross-checked against the packet-level DES baseline (EXPERIMENTS.md)
+    gige_tcp_message_overhead: float = 450e-6
+    #: [calibrated] Fast Ethernet effective payload bandwidth, bytes/s
+    fe_tcp_bulk_rate: float = 11.2e6
+    #: [calibrated] per-message overhead on Fast Ethernet, seconds
+    fe_tcp_message_overhead: float = 250e-6
+
+    # --- prototype-INIC model (Section 6 adjustments) ------------------------------
+    #: [paper] the ACEII's single bus, bytes/s ("132 MB/s"), derated [era]
+    aceii_bus_rate: float = 132e6 * 0.85
+    #: [paper] prototype send+receive each cross the card bus twice
+    aceii_crossings_per_byte: int = 2
+    #: [paper] prototype card bins into at most 16 buckets (Section 6)
+    aceii_max_buckets: int = 16
+
+    # --- problem-size defaults matching the figures ----------------------------------
+    #: [calibrated] Fig. 5(a) partition axis tops out near 200,000 KB at
+    #: P=1, so the total sort is ~48 * 2^20 keys (192 MiB of data).
+    sort_total_keys: int = 48 * 2**20
+    #: [paper] minimum cache-fit bucket count for >= 2^21 keys (Section 3.2.1)
+    min_cache_buckets: int = 128
+    #: [calibrated] target keys per cache bucket (fits 256 KiB L2 as ~2
+    #: passes' working set)
+    keys_per_cache_bucket: int = 24 * 1024
+
+
+#: the default parameter set used across benches and examples
+DEFAULT_PARAMS = MachineParams()
+
+
+# ---------------------------------------------------------------------------
+# Host compute-cost functions (used by the DES applications)
+# ---------------------------------------------------------------------------
+def fft_row_flops(n: int) -> float:
+    """Classic 5 n log2 n flop count for one complex n-point FFT row."""
+    if n < 2:
+        return 0.0
+    import math
+
+    return 5.0 * n * math.log2(n)
+
+
+def _fft_rate_for(params: MachineParams, hierarchy: MemoryHierarchy, ws: float) -> float:
+    level = hierarchy.level_for(ws).name
+    return {
+        "L1": params.fft_flops_rate_l1,
+        "L2": params.fft_flops_rate_l2,
+    }.get(level, params.fft_flops_rate_dram)
+
+
+def fft_compute_time(
+    params: MachineParams,
+    hierarchy: MemoryHierarchy,
+    rows_local: int,
+    n: int,
+) -> float:
+    """Seconds for one pass of row FFTs over a local (rows_local x n) panel.
+
+    The sustained flop rate depends on whether the panel fits a cache
+    level — the source of the compute-curve kinks in Fig. 4(b).
+    """
+    ws = rows_local * n * params.complex_bytes
+    rate = _fft_rate_for(params, hierarchy, ws)
+    return rows_local * fft_row_flops(n) / rate
+
+
+def bucket_sort_time(
+    params: MachineParams,
+    hierarchy: MemoryHierarchy,
+    n_keys: int,
+    n_buckets: int,
+) -> float:
+    """Seconds to bin ``n_keys`` into ``n_buckets`` on the host.
+
+    Random-write bound: each key is read sequentially and written to a
+    bin whose next slot is effectively a random DRAM location once the
+    bin working set exceeds cache.
+    """
+    if n_keys == 0:
+        return 0.0
+    nbytes = params.bucket_sort_bytes_per_key * n_keys
+    ws = n_keys * params.int_bytes
+    # Bin pointers/streams thrash caches once keys overflow L2.
+    pattern = (
+        AccessPattern.STREAM
+        if ws <= hierarchy.levels[min(1, len(hierarchy.levels) - 1)].capacity
+        else AccessPattern.RANDOM
+    )
+    return hierarchy.touch_time(nbytes, working_set=ws, pattern=pattern)
+
+
+def count_sort_time(
+    params: MachineParams,
+    hierarchy: MemoryHierarchy,
+    n_keys: int,
+    bucket_keys: int | None = None,
+) -> float:
+    """Seconds to count-sort ``n_keys`` organized in cache-fit buckets.
+
+    ``bucket_keys``: keys per bucket; buckets larger than L2 pay the
+    DRAM penalty (the paper's reason for >= 128 buckets at 2^21 keys).
+    """
+    if n_keys == 0:
+        return 0.0
+    base = n_keys * params.count_sort_cycles_per_key / params.clock_hz
+    if bucket_keys is None:
+        return base
+    l2 = hierarchy.levels[min(1, len(hierarchy.levels) - 1)].capacity
+    if bucket_keys * params.int_bytes > l2:
+        return base * params.count_sort_dram_penalty
+    return base
+
+
+#: [calibrated] FFTW-style transposes are cache-blocked, so the strided
+#: side runs near streaming bandwidth with a blocking penalty.
+_TRANSPOSE_BLOCKING_EFFICIENCY = 0.65
+
+
+def local_transpose_time(
+    params: MachineParams, hierarchy: MemoryHierarchy, nbytes: int
+) -> float:
+    """Seconds for the host-side local block transpose (baseline FFT):
+    one read + one write over the panel, cache-blocked."""
+    bw = hierarchy.effective_bandwidth(nbytes, AccessPattern.STREAM)
+    return 2 * nbytes / (bw * _TRANSPOSE_BLOCKING_EFFICIENCY)
+
+
+def interleave_time(
+    params: MachineParams, hierarchy: MemoryHierarchy, nbytes: int
+) -> float:
+    """Seconds for the host-side receive interleave (baseline FFT)."""
+    return hierarchy.touch_time(
+        2 * nbytes, working_set=nbytes, pattern=AccessPattern.STREAM
+    )

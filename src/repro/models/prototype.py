@@ -1,0 +1,87 @@
+"""Prototype-INIC analytical adjustments (Section 6).
+
+The Section-4 model assumes the ideal card; the ACEII prototype differs
+in two ways the paper names explicitly:
+
+* "the prototype hardware does introduce a bottleneck in the form of a
+  single 132 MB/s bus used to access both the Gigabit Ethernet and host
+  memory" — every payload byte crosses that one bus **twice per
+  direction** (host<->card memory, card memory<->MAC), and send and
+  receive traffic contend with each other;
+* "the Xilinx 4085XLA devices we have are not dense enough to perform
+  the full bucket sort on the INIC.  Consequently, the bucket sort must
+  be performed in two phases" — the host pays a (discounted) phase-2
+  bucket refine.
+
+These closed forms cross-check the DES prototype runs of Figure 8.
+"""
+
+from __future__ import annotations
+
+from ..errors import ApplicationError
+from ..hw.memory import MemoryHierarchy
+from .params import DEFAULT_PARAMS, MachineParams, bucket_sort_time, count_sort_time
+from .fft_model import fft_compute_total, partition_bytes
+from .sort_model import receive_buckets, sort_partition_bytes
+
+__all__ = [
+    "prototype_exchange_time",
+    "prototype_fft_time",
+    "prototype_sort_time",
+]
+
+
+def prototype_exchange_time(
+    s: float, p: int, params: MachineParams = DEFAULT_PARAMS
+) -> float:
+    """Per-node wall time for one all-to-all of partition ``s`` through
+    the shared card bus.
+
+    Outbound, every byte crosses the bus twice (host->card, card->MAC);
+    inbound likewise.  The self block skips the MAC but still crosses
+    twice (host->card->host).  All crossings serialize on the one bus,
+    so the bus moves ~4S bytes per exchange per node.
+    """
+    if p < 1:
+        raise ApplicationError("P must be >= 1")
+    remote = s * (p - 1) / p
+    self_block = s / p
+    crossings = 2 * remote + 2 * remote + 2 * self_block
+    return crossings / params.aceii_bus_rate
+
+
+def prototype_fft_time(
+    rows: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Prototype INIC FFT: Eq. (3) with bus-bound transposes."""
+    s = partition_bytes(rows, p, params)
+    return fft_compute_total(rows, p, hierarchy, params) + 2.0 * prototype_exchange_time(
+        s, p, params
+    )
+
+
+def prototype_sort_time(
+    e_init: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Prototype INIC sort: bus-bound redistribution + host phase-2 of
+    the 16-way card pre-split + count sort."""
+    per_node = e_init // p
+    s = sort_partition_bytes(e_init, p, params)
+    n = receive_buckets(e_init, p, params)
+    comm = prototype_exchange_time(s, p, params)
+    phase2 = (
+        params.host_phase2_factor
+        * bucket_sort_time(params, hierarchy, per_node, n)
+        if n > params.aceii_max_buckets
+        else 0.0
+    )
+    t_count = count_sort_time(
+        params, hierarchy, per_node, bucket_keys=max(1, per_node // n)
+    )
+    return comm + phase2 + t_count

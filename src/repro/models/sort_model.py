@@ -1,0 +1,158 @@
+"""The paper's integer-sort analytical model — Equations (11)-(17).
+
+Implemented exactly as printed.  Note the structure of Eqs. (13)-(15):
+the *streaming* of the partition is assumed fully pipelined, so TINIC
+consists only of the pipeline-fill latencies (a packet per bin before
+transmits can begin, a 64 KiB DMA threshold per receive bucket) plus
+the final copy of the partition to the host (Eq. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ApplicationError
+from ..hw.memory import MemoryHierarchy
+from .params import (
+    DEFAULT_PARAMS,
+    MachineParams,
+    bucket_sort_time,
+    count_sort_time,
+)
+
+__all__ = [
+    "sort_partition_bytes",
+    "sort_t_dtc",
+    "sort_t_dtg",
+    "sort_t_dfg",
+    "sort_t_dth",
+    "t_inic",
+    "inic_sort_time",
+    "serial_sort_time",
+    "receive_buckets",
+    "SortModelPoint",
+    "sort_component_series",
+]
+
+
+def sort_partition_bytes(
+    e_init: int, p: int, params: MachineParams = DEFAULT_PARAMS
+) -> float:
+    """Eq. (12): S = 4 * E_init / P."""
+    if e_init < 0 or p < 1:
+        raise ApplicationError("bad sort model arguments")
+    return params.int_bytes * e_init / p
+
+
+def sort_t_dtc(p: int, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (13): worst-case bin fill before transmits begin,
+    (P x 1024)/80MiB."""
+    return p * params.inic_packet / params.host_card_rate
+
+
+def sort_t_dtg(p: int, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (14): (P x 1024)/90MiB."""
+    return p * params.inic_packet / params.card_net_rate
+
+
+def sort_t_dfg(n_buckets: int, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (15): (N x 65536)/90MiB — N receive buckets must pass the
+    64 KiB DMA threshold before any transfer is guaranteed."""
+    return n_buckets * params.dma_threshold / params.card_net_rate
+
+
+def sort_t_dth(s: float, params: MachineParams = DEFAULT_PARAMS) -> float:
+    """Eq. (16): S/80MiB."""
+    return s / params.host_card_rate
+
+
+def receive_buckets(
+    e_init: int, p: int, params: MachineParams = DEFAULT_PARAMS
+) -> int:
+    """N: cache-fit bucket count on the receive side (Section 3.2.1)."""
+    from ..apps.sort.bucketsort import cache_bucket_count
+
+    per_node = e_init // p
+    return cache_bucket_count(
+        per_node, params.keys_per_cache_bucket, params.min_cache_buckets
+    )
+
+
+def t_inic(
+    e_init: int, p: int, params: MachineParams = DEFAULT_PARAMS
+) -> float:
+    """Eq. (17): TINIC = Tdtc + Tdtg + Tdfg + Tdth."""
+    s = sort_partition_bytes(e_init, p, params)
+    n = receive_buckets(e_init, p, params)
+    return (
+        sort_t_dtc(p, params)
+        + sort_t_dtg(p, params)
+        + sort_t_dfg(n, params)
+        + sort_t_dth(s, params)
+    )
+
+
+def inic_sort_time(
+    e_init: int,
+    p: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Eq. (11): T = Tcountsort + TINIC."""
+    per_node = e_init // p
+    n = receive_buckets(e_init, p, params)
+    t_count = count_sort_time(
+        params, hierarchy, per_node, bucket_keys=max(1, per_node // n)
+    )
+    return t_count + t_inic(e_init, p, params)
+
+
+def serial_sort_time(
+    e_init: int,
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> float:
+    """Single-node reference: full bucket sort + count sort
+    ('over 5 seconds in the serial implementation' for the bucket sort,
+    Section 4.2)."""
+    n = receive_buckets(e_init, 1, params)
+    return (
+        bucket_sort_time(params, hierarchy, e_init, n)
+        + count_sort_time(params, hierarchy, e_init, bucket_keys=max(1, e_init // n))
+    )
+
+
+@dataclass(frozen=True)
+class SortModelPoint:
+    """One P point of the Fig. 5(a) decomposition."""
+
+    p: int
+    partition_kib: float
+    count_sort_time: float
+    phase1_bucket_time: float
+    phase2_bucket_time: float
+
+
+def sort_component_series(
+    e_init: int,
+    procs: list[int],
+    hierarchy: MemoryHierarchy,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> list[SortModelPoint]:
+    """The host-side component series of Fig. 5(a)."""
+    out = []
+    for p in procs:
+        per_node = e_init // p
+        n = receive_buckets(e_init, p, params)
+        out.append(
+            SortModelPoint(
+                p=p,
+                partition_kib=sort_partition_bytes(e_init, p, params) / 1024.0,
+                count_sort_time=count_sort_time(
+                    params, hierarchy, per_node, bucket_keys=max(1, per_node // n)
+                ),
+                phase1_bucket_time=bucket_sort_time(params, hierarchy, per_node, p),
+                phase2_bucket_time=bucket_sort_time(params, hierarchy, per_node, n),
+            )
+        )
+    return out

@@ -1,0 +1,58 @@
+"""Speedup/series helpers shared by models and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ApplicationError
+
+__all__ = ["Series", "speedup_series", "crossover_point"]
+
+
+@dataclass
+class Series:
+    """A named (x, y) curve, the unit of every figure reproduction."""
+
+    name: str
+    x: list[float]
+    y: list[float]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ApplicationError(
+                f"series {self.name!r}: {len(self.x)} x vs {len(self.y)} y"
+            )
+
+    def at(self, x_value: float) -> float:
+        """The y value at an exact x (figures are sampled, not fitted)."""
+        for xi, yi in zip(self.x, self.y):
+            if xi == x_value:
+                return yi
+        raise ApplicationError(f"series {self.name!r} has no point at x={x_value}")
+
+    def scaled(self, factor: float, name: str | None = None) -> "Series":
+        return Series(name or self.name, list(self.x), [v * factor for v in self.y])
+
+
+def speedup_series(
+    name: str, procs: Sequence[int], times: Sequence[float], t_serial: float
+) -> Series:
+    """Speedup(P) = T_serial / T(P)."""
+    if t_serial <= 0:
+        raise ApplicationError("serial time must be positive")
+    if any(t <= 0 for t in times):
+        raise ApplicationError("parallel times must be positive")
+    return Series(name, [float(p) for p in procs], [t_serial / t for t in times])
+
+
+def crossover_point(a: Series, b: Series) -> float | None:
+    """Smallest shared x where ``a`` first meets or beats ``b``
+    (None if it never does).  Used for 'needs >= 8 nodes to beat
+    serial'-style shape assertions."""
+    shared = [x for x in a.x if x in b.x]
+    for x in sorted(shared):
+        if a.at(x) >= b.at(x):
+            return x
+    return None

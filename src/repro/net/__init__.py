@@ -1,0 +1,41 @@
+"""Ethernet substrate: frames, wires, switch, NICs, topology."""
+
+from .addresses import BROADCAST, MacAddress
+from .fabric import (
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    NetworkTechnology,
+    build_star,
+)
+from .link import Link, Wire
+from .nic import NICStats, StandardNIC
+from .packet import (
+    ETHERNET_MTU,
+    ETHERNET_OVERHEAD,
+    IP_TCP_HEADERS,
+    MIN_FRAME_PAYLOAD,
+    Frame,
+    wire_bytes,
+)
+from .switch import PortStats, Switch
+
+__all__ = [
+    "BROADCAST",
+    "ETHERNET_MTU",
+    "ETHERNET_OVERHEAD",
+    "FAST_ETHERNET",
+    "Frame",
+    "GIGABIT_ETHERNET",
+    "IP_TCP_HEADERS",
+    "Link",
+    "MIN_FRAME_PAYLOAD",
+    "MacAddress",
+    "NICStats",
+    "NetworkTechnology",
+    "PortStats",
+    "StandardNIC",
+    "Switch",
+    "Wire",
+    "build_star",
+    "wire_bytes",
+]

@@ -1,0 +1,51 @@
+"""Network addressing.
+
+Addresses are small integers (node ranks) wrapped for type safety and
+pretty-printing.  The cluster is a single Ethernet segment behind one
+switch, so flat MAC-style addressing suffices — exactly the environment
+the paper assumes when it argues an application-specific protocol can be
+"built directly on Ethernet" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from ..errors import AddressError
+
+__all__ = ["MacAddress", "BROADCAST"]
+
+
+class MacAddress:
+    """A station address on the simulated segment."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise AddressError(f"address must be an int, got {value!r}")
+        if value < -1:
+            raise AddressError(f"invalid address {value!r}")
+        self.value = value
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == -1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("MacAddress", self.value))
+
+    def __repr__(self) -> str:
+        if self.is_broadcast:
+            return "MacAddress(broadcast)"
+        return f"MacAddress({self.value})"
+
+    def __str__(self) -> str:
+        if self.is_broadcast:
+            return "ff:ff"
+        return f"02:{self.value:02x}"
+
+
+#: the all-stations address
+BROADCAST = MacAddress(-1)

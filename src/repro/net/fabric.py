@@ -1,0 +1,104 @@
+"""Topology builder: the cluster's switched-star Ethernet fabric.
+
+The prototype (Section 5) is a star: every node's NIC plugs into one
+switch.  ``build_star`` wires any set of frame devices (standard NICs or
+INIC cards) to a freshly created switch and installs static forwarding.
+
+Device contract: ``attach_wire(wire)`` (device transmits on it) and
+``receive_frame(frame)`` (device terminates the downlink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..errors import NetworkError
+from ..sim.engine import Simulator
+from ..units import gbps, mbps
+from .addresses import MacAddress
+from .link import Wire
+from .packet import Frame
+from .switch import Switch
+
+__all__ = ["NetworkTechnology", "FAST_ETHERNET", "GIGABIT_ETHERNET", "build_star"]
+
+
+@dataclass(frozen=True)
+class NetworkTechnology:
+    """Line-rate/latency bundle for a network generation."""
+
+    name: str
+    bandwidth: float  # bytes/s line rate
+    propagation_delay: float  # seconds, cable + PHY
+    switch_latency: float  # seconds, forwarding decision
+    switch_buffer_per_port: float  # bytes
+
+
+#: 100 Mb/s switched Fast Ethernet (the paper's low-end baseline)
+FAST_ETHERNET = NetworkTechnology(
+    name="fast-ethernet",
+    bandwidth=mbps(100),
+    propagation_delay=1e-6,
+    switch_latency=6e-6,
+    switch_buffer_per_port=64 * 1024,
+)
+
+#: 1 Gb/s Ethernet (SysKonnect PCI NIC + switch of the prototype)
+GIGABIT_ETHERNET = NetworkTechnology(
+    name="gigabit-ethernet",
+    bandwidth=gbps(1),
+    propagation_delay=1e-6,
+    switch_latency=4e-6,
+    switch_buffer_per_port=128 * 1024,
+)
+
+
+class FrameDevice(Protocol):
+    """A station: transmits on an uplink, terminates a downlink."""
+
+    def attach_wire(self, wire: Wire) -> None:  # pragma: no cover - protocol
+        ...
+
+    def receive_frame(self, frame: Frame) -> None:  # pragma: no cover - protocol
+        ...
+
+
+def build_star(
+    sim: Simulator,
+    stations: Sequence[tuple[MacAddress, FrameDevice]],
+    tech: NetworkTechnology = GIGABIT_ETHERNET,
+    name: str = "fabric",
+) -> Switch:
+    """Wire ``stations`` to a new switch; returns the switch.
+
+    Each station gets a dedicated full-duplex link at ``tech.bandwidth``.
+    """
+    if not stations:
+        raise NetworkError("cannot build a fabric with no stations")
+    addresses = [addr for addr, _ in stations]
+    if len(set(a.value for a in addresses)) != len(addresses):
+        raise NetworkError("duplicate station addresses in fabric")
+
+    switch = Switch(
+        sim,
+        n_ports=len(stations),
+        buffer_bytes_per_port=tech.switch_buffer_per_port,
+        forwarding_latency=tech.switch_latency,
+        name=f"{name}.switch",
+    )
+    for port, (addr, device) in enumerate(stations):
+        uplink = Wire(
+            sim, tech.bandwidth, tech.propagation_delay, name=f"{name}.up{port}"
+        )
+        uplink.attach(switch.ingress_sink(port))
+        device.attach_wire(uplink)
+
+        downlink = Wire(
+            sim, tech.bandwidth, tech.propagation_delay, name=f"{name}.down{port}"
+        )
+        downlink.attach(device)
+        switch.attach_output(port, downlink)
+
+        switch.learn(addr, port)
+    return switch

@@ -1,0 +1,127 @@
+"""Point-to-point wires and full-duplex links.
+
+A :class:`Wire` is one direction: frames are serialized FIFO at the line
+rate, then delivered to the sink after a propagation delay.  A
+:class:`Link` is a pair of wires (full duplex, as both Fast and Gigabit
+Ethernet are in switched mode).
+
+Sinks implement ``receive_frame(frame)``; anything — NIC, switch port,
+INIC MAC — can terminate a wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from ..errors import LinkError
+from ..sim.engine import Simulator
+from .packet import Frame
+
+__all__ = ["FrameSink", "Wire", "Link"]
+
+
+class FrameSink(Protocol):
+    """Anything that can terminate a wire."""
+
+    def receive_frame(self, frame: Frame) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Wire:
+    """One direction of a link: FIFO serialization + propagation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        propagation_delay: float = 0.0,
+        name: str = "wire",
+    ):
+        if bandwidth <= 0:
+            raise LinkError(f"wire bandwidth must be > 0, got {bandwidth}")
+        if propagation_delay < 0:
+            raise LinkError("negative propagation delay")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.propagation_delay = float(propagation_delay)
+        self.name = name
+        self._sink: Optional[FrameSink] = None
+        self._busy_until = 0.0
+        # -- statistics ----------------------------------------------------
+        self.frames_sent = 0
+        self.bytes_sent = 0.0
+        self.busy_time = 0.0
+
+    def attach(self, sink: FrameSink) -> None:
+        if self._sink is not None:
+            raise LinkError(f"wire {self.name!r} already attached")
+        self._sink = sink
+
+    @property
+    def sink(self) -> FrameSink:
+        if self._sink is None:
+            raise LinkError(f"wire {self.name!r} has no sink attached")
+        return self._sink
+
+    def send(self, frame: Frame) -> float:
+        """Queue ``frame`` for transmission; returns its delivery time.
+
+        Serialization is FIFO at line rate; delivery happens
+        serialization + propagation later.  The caller does not block —
+        backpressure, if desired, is the *sender's* job (NICs block on
+        their TX ring, switches drop on full buffers).
+        """
+        sink = self.sink
+        start = max(self.sim.now, self._busy_until)
+        tx_time = frame.wire_size / self.bandwidth
+        done_serializing = start + tx_time
+        self._busy_until = done_serializing
+        deliver_at = done_serializing + self.propagation_delay
+        self.frames_sent += frame.frame_count
+        self.bytes_sent += frame.wire_size
+        self.busy_time += tx_time
+        self.sim.schedule_callback(
+            deliver_at - self.sim.now,
+            lambda: sink.receive_frame(frame),
+            name=f"{self.name}.deliver",
+        )
+        return deliver_at
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Wire {self.name!r} {self.bandwidth:g} B/s>"
+
+
+class Link:
+    """A full-duplex link: two wires between stations A and B."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        propagation_delay: float = 0.0,
+        name: str = "link",
+    ):
+        self.sim = sim
+        self.name = name
+        self.a_to_b = Wire(sim, bandwidth, propagation_delay, name=f"{name}.a>b")
+        self.b_to_a = Wire(sim, bandwidth, propagation_delay, name=f"{name}.b>a")
+
+    @property
+    def bandwidth(self) -> float:
+        return self.a_to_b.bandwidth
+
+    def attach_a(self, sink: FrameSink) -> None:
+        """``sink`` receives frames travelling B -> A."""
+        self.b_to_a.attach(sink)
+
+    def attach_b(self, sink: FrameSink) -> None:
+        """``sink`` receives frames travelling A -> B."""
+        self.a_to_b.attach(sink)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name!r} {self.bandwidth:g} B/s full-duplex>"

@@ -1,0 +1,122 @@
+"""Frames: the unit of simulated network transfer.
+
+A :class:`Frame` models one Ethernet frame *or*, at reduced fidelity, a
+quantum of ``frame_count`` back-to-back MTU frames treated as a single
+simulation event (DESIGN.md §7).  Either way it knows:
+
+* logical payload byte count (what the application asked to move),
+* on-wire byte count (payload + per-frame header/preamble/IFG overhead),
+* an optional *payload object* — a real numpy array or application
+  message riding along so the simulation is functional, not just timed.
+
+Header overhead constants follow the real protocols so the bandwidth
+numbers work out: a 1500-byte TCP segment on the wire costs
+1500 + 38 (Ethernet + preamble + IFG) + 40 (IP + TCP) bytes of time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import PacketError
+from .addresses import MacAddress
+
+__all__ = [
+    "ETHERNET_MTU",
+    "ETHERNET_OVERHEAD",
+    "IP_TCP_HEADERS",
+    "MIN_FRAME_PAYLOAD",
+    "Frame",
+    "wire_bytes",
+]
+
+#: standard Ethernet MTU (payload bytes per frame)
+ETHERNET_MTU = 1500
+#: Ethernet framing cost per frame: 14 hdr + 4 FCS + 8 preamble + 12 IFG
+ETHERNET_OVERHEAD = 38
+#: IPv4 + TCP headers without options
+IP_TCP_HEADERS = 40
+#: minimum Ethernet payload (frames are padded up to this)
+MIN_FRAME_PAYLOAD = 46
+
+_frame_ids = itertools.count()
+
+
+def wire_bytes(payload: int, per_frame_headers: int, frame_count: int = 1) -> int:
+    """On-wire bytes for ``payload`` split over ``frame_count`` frames."""
+    if payload < 0 or frame_count < 1:
+        raise PacketError(f"bad frame geometry payload={payload} count={frame_count}")
+    padded = max(payload, MIN_FRAME_PAYLOAD * frame_count)
+    return padded + frame_count * (ETHERNET_OVERHEAD + per_frame_headers)
+
+
+@dataclass
+class Frame:
+    """One simulated wire transfer unit.
+
+    Attributes
+    ----------
+    src, dst:
+        station addresses.
+    payload_bytes:
+        logical data bytes carried.
+    headers:
+        per-frame protocol headers *above* Ethernet (e.g. 40 for TCP/IP,
+        small for the INIC protocol).
+    frame_count:
+        how many physical frames this event stands for (fidelity quantum).
+    kind:
+        protocol discriminator ("tcp", "tcp-ack", "inic", "raw", ...).
+    seq:
+        protocol sequence number (byte offset for TCP-like streams).
+    payload:
+        optional functional payload (numpy array slice, message object).
+    meta:
+        free-form annotations (flow ids, timestamps, experiment tags).
+    """
+
+    src: MacAddress
+    dst: MacAddress
+    payload_bytes: int
+    headers: int = IP_TCP_HEADERS
+    frame_count: int = 1
+    kind: str = "raw"
+    seq: int = 0
+    payload: Any = None
+    meta: dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise PacketError(f"negative payload {self.payload_bytes}")
+        if self.frame_count < 1:
+            raise PacketError(f"frame_count must be >= 1, got {self.frame_count}")
+        if self.headers < 0:
+            raise PacketError(f"negative header size {self.headers}")
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-wire bytes (drives serialization time)."""
+        return wire_bytes(self.payload_bytes, self.headers, self.frame_count)
+
+    def clone_for(self, dst: MacAddress) -> "Frame":
+        """Copy addressed to a different station (for broadcast fan-out)."""
+        return Frame(
+            src=self.src,
+            dst=dst,
+            payload_bytes=self.payload_bytes,
+            headers=self.headers,
+            frame_count=self.frame_count,
+            kind=self.kind,
+            seq=self.seq,
+            payload=self.payload,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame#{self.uid} {self.kind} {self.src}->{self.dst} "
+            f"{self.payload_bytes}B x{self.frame_count} seq={self.seq}>"
+        )

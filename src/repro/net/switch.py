@@ -1,0 +1,175 @@
+"""Output-queued store-and-forward Ethernet switch.
+
+The paper's INIC protocol argument hinges on switch buffering: "there
+should be no packet loss as the total amount of data put into the
+network never exceeds the total size of the network buffers (combined
+NIC and switch buffers)" (Section 4.1).  So the switch models finite
+per-output-port byte buffers with tail drop, and exposes drop/occupancy
+statistics the tests use to verify that claim for the INIC protocol —
+and to produce losses for mis-tuned configurations.
+
+Each output port: a byte-accounted FIFO drained at line rate onto the
+attached wire.  Frames are forwarded after a fixed lookup latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..errors import SwitchError
+from ..sim.engine import Simulator
+from .addresses import MacAddress
+from .link import Wire
+from .packet import Frame
+
+__all__ = ["Switch", "PortStats"]
+
+
+class PortStats:
+    """Per-output-port counters."""
+
+    def __init__(self) -> None:
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        self.bytes_forwarded = 0.0
+        self.bytes_dropped = 0.0
+        self.max_queue_bytes = 0.0
+
+
+class _PortIngress:
+    """Adapter: terminates the device->switch wire for one port."""
+
+    __slots__ = ("switch", "port")
+
+    def __init__(self, switch: "Switch", port: int):
+        self.switch = switch
+        self.port = port
+
+    def receive_frame(self, frame: Frame) -> None:
+        self.switch._ingress(frame, self.port)
+
+
+class _OutputPort:
+    """One output port: byte-bounded FIFO + drain process."""
+
+    def __init__(self, switch: "Switch", index: int):
+        self.switch = switch
+        self.index = index
+        self.wire: Optional[Wire] = None
+        self.queue: deque[Frame] = deque()
+        self.queued_bytes = 0.0
+        self.stats = PortStats()
+        self._draining = False
+
+    def enqueue(self, frame: Frame) -> None:
+        sw = self.switch
+        if self.queued_bytes + frame.wire_size > sw.buffer_bytes_per_port:
+            self.stats.frames_dropped += frame.frame_count
+            self.stats.bytes_dropped += frame.wire_size
+            return
+        self.queue.append(frame)
+        self.queued_bytes += frame.wire_size
+        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self.queued_bytes)
+        if not self._draining:
+            self._draining = True
+            sw.sim.process(self._drain(), name=f"{sw.name}.p{self.index}.drain")
+
+    def _drain(self):
+        sim = self.switch.sim
+        while self.queue:
+            frame = self.queue.popleft()
+            if self.wire is None:
+                raise SwitchError(
+                    f"switch port {self.index} has no wire attached"
+                )
+            tx_time = frame.wire_size / self.wire.bandwidth
+            self.wire.send(frame)
+            yield sim.timeout(tx_time)
+            # Buffer space is freed once the frame has left the port.
+            self.queued_bytes -= frame.wire_size
+            self.stats.frames_forwarded += frame.frame_count
+            self.stats.bytes_forwarded += frame.wire_size
+        self._draining = False
+
+
+class Switch:
+    """A non-blocking crossbar with output queueing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        buffer_bytes_per_port: float = 512 * 1024,
+        forwarding_latency: float = 4e-6,
+        name: str = "switch",
+    ):
+        if n_ports < 1:
+            raise SwitchError("switch needs at least one port")
+        if buffer_bytes_per_port <= 0:
+            raise SwitchError("switch buffers must be > 0 bytes")
+        if forwarding_latency < 0:
+            raise SwitchError("negative forwarding latency")
+        self.sim = sim
+        self.name = name
+        self.n_ports = n_ports
+        self.buffer_bytes_per_port = float(buffer_bytes_per_port)
+        self.forwarding_latency = float(forwarding_latency)
+        self._outputs = [_OutputPort(self, i) for i in range(n_ports)]
+        self._table: dict[MacAddress, int] = {}
+
+    # -- wiring -----------------------------------------------------------------
+    def ingress_sink(self, port: int) -> _PortIngress:
+        """The sink to attach to the device->switch wire of ``port``."""
+        self._check_port(port)
+        return _PortIngress(self, port)
+
+    def attach_output(self, port: int, wire: Wire) -> None:
+        """Attach the switch->device wire of ``port``."""
+        self._check_port(port)
+        if self._outputs[port].wire is not None:
+            raise SwitchError(f"port {port} output already attached")
+        self._outputs[port].wire = wire
+
+    def learn(self, address: MacAddress, port: int) -> None:
+        """Install a static forwarding entry (the fabric builder does this)."""
+        self._check_port(port)
+        self._table[address] = port
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise SwitchError(f"port {port} out of range 0..{self.n_ports - 1}")
+
+    # -- data path ---------------------------------------------------------------
+    def _ingress(self, frame: Frame, in_port: int) -> None:
+        def _forward() -> None:
+            if frame.dst.is_broadcast:
+                for port, out in enumerate(self._outputs):
+                    if port != in_port and out.wire is not None:
+                        out.enqueue(frame.clone_for(frame.dst))
+                return
+            port = self._table.get(frame.dst)
+            if port is None:
+                raise SwitchError(f"no forwarding entry for {frame.dst}")
+            self._outputs[port].enqueue(frame)
+
+        if self.forwarding_latency > 0:
+            self.sim.schedule_callback(
+                self.forwarding_latency, _forward, name=f"{self.name}.fwd"
+            )
+        else:
+            _forward()
+
+    # -- statistics ---------------------------------------------------------------
+    def port_stats(self, port: int) -> PortStats:
+        self._check_port(port)
+        return self._outputs[port].stats
+
+    def total_dropped(self) -> int:
+        return sum(o.stats.frames_dropped for o in self._outputs)
+
+    def total_forwarded(self) -> int:
+        return sum(o.stats.frames_forwarded for o in self._outputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Switch {self.name!r} {self.n_ports} ports>"

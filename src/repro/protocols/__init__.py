@@ -1,0 +1,21 @@
+"""Protocol stacks: TCP baseline, raw Ethernet, INIC custom protocol."""
+
+from .base import Mailbox, MessageView, choose_quantum, next_message_id
+from .inicproto import CreditGate, INICProtoConfig, TransferPlan
+from .raw import RawConfig, RawEthernetStack
+from .tcp import TCPConfig, TCPStack, TCPStats
+
+__all__ = [
+    "CreditGate",
+    "INICProtoConfig",
+    "Mailbox",
+    "MessageView",
+    "RawConfig",
+    "RawEthernetStack",
+    "TCPConfig",
+    "TCPStack",
+    "TCPStats",
+    "TransferPlan",
+    "choose_quantum",
+    "next_message_id",
+]

@@ -1,0 +1,144 @@
+"""The INIC's application-specific protocol (policy layer).
+
+Section 4.1: "INICs can use an application specific protocol ... there
+should be no packet loss as the total amount of data put into the
+network never exceeds the total size of the network buffers (combined
+NIC and switch buffers).  The protocol also has the advantage of knowing
+exactly how much data to expect; hence, the protocol needs minimal
+acknowledgement information."
+
+Three pieces implement that:
+
+* :class:`INICProtoConfig` — framing parameters.  The paper picks a
+  1024-byte packet (Section 4.2): small packets are fine because the
+  INIC pays no per-packet interrupt or host-CPU cost.
+* :class:`TransferPlan` — per-peer expected byte counts for one
+  collective phase (each node "knows exactly how much data will be sent
+  to and received from every other node", Section 3.1.2).  Completion is
+  detected by byte accounting, not ACKs.
+* :class:`CreditGate` — conservative in-flight budget that enforces the
+  no-loss invariant: a sender never has more unacknowledged-by-arrival
+  bytes in the fabric than its share of the switch buffers.  Credits are
+  returned by time (the known drain rate), not by ACK packets — this is
+  the "minimal acknowledgement information" property.
+
+The data movement itself is done by the INIC card
+(:mod:`repro.inic.card`), which consumes these policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ProtocolError
+from ..net.addresses import MacAddress
+from ..sim.engine import Event, Simulator
+from ..sim.resources import Container
+
+__all__ = ["INICProtoConfig", "TransferPlan", "CreditGate"]
+
+
+@dataclass(frozen=True)
+class INICProtoConfig:
+    """Framing for the custom on-card protocol."""
+
+    packet_size: int = 1024  # paper, Section 4.2
+    headers: int = 8  # built directly on Ethernet; minimal header
+    quantum_target_events: int = 48
+    max_quantum: int = 64
+
+    def __post_init__(self) -> None:
+        if self.packet_size < 1 or self.headers < 0:
+            raise ProtocolError("invalid INIC protocol framing")
+
+
+class TransferPlan:
+    """Expected receive volume per peer for one communication phase."""
+
+    def __init__(self, sim: Simulator, expected: dict[int, int], name: str = "plan"):
+        for peer, nbytes in expected.items():
+            if nbytes < 0:
+                raise ProtocolError(f"negative expected bytes from peer {peer}")
+        self.sim = sim
+        self.name = name
+        self.expected = dict(expected)
+        self.received = {peer: 0 for peer in expected}
+        self._complete = sim.event(name=f"{name}.complete")
+        self._check_done()
+
+    @property
+    def complete(self) -> Event:
+        """Fires when every peer's expected bytes have arrived."""
+        return self._complete
+
+    def total_expected(self) -> int:
+        return sum(self.expected.values())
+
+    def total_received(self) -> int:
+        return sum(self.received.values())
+
+    def account(self, src: MacAddress, nbytes: int) -> None:
+        """Record ``nbytes`` arriving from ``src``."""
+        peer = src.value
+        if peer not in self.expected:
+            raise ProtocolError(f"{self.name}: unexpected sender {src}")
+        self.received[peer] += nbytes
+        if self.received[peer] > self.expected[peer]:
+            raise ProtocolError(
+                f"{self.name}: peer {peer} overflowed plan "
+                f"({self.received[peer]} > {self.expected[peer]})"
+            )
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if not self._complete.triggered and all(
+            self.received[p] >= self.expected[p] for p in self.expected
+        ):
+            self._complete.succeed(dict(self.received))
+
+
+class CreditGate:
+    """Bounded in-flight bytes toward the fabric (loss avoidance).
+
+    ``acquire(n)`` blocks until ``n`` bytes of budget are free; credits
+    return automatically after ``drain_time(n)`` — the deterministic time
+    for those bytes to leave the slowest queue in the path — so no
+    credit-return packets are needed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        budget_bytes: float,
+        drain_rate: float,
+        name: str = "credits",
+    ):
+        if budget_bytes <= 0:
+            raise ProtocolError("credit budget must be > 0")
+        if drain_rate <= 0:
+            raise ProtocolError("credit drain rate must be > 0")
+        self.sim = sim
+        self.drain_rate = float(drain_rate)
+        self.name = name
+        self._pool = Container(
+            sim, capacity=budget_bytes, init=budget_bytes, name=f"{name}.pool"
+        )
+
+    @property
+    def available(self) -> float:
+        return self._pool.level
+
+    def acquire(self, nbytes: float):
+        """Generator: take ``nbytes`` of budget (blocks until free) and
+        schedule its automatic return."""
+        if nbytes <= 0:
+            raise ProtocolError(f"credit acquire of {nbytes}")
+        yield self._pool.get(nbytes)
+        delay = nbytes / self.drain_rate
+        self.sim.schedule_callback(
+            delay, lambda: self._pool.put(nbytes), name=f"{self.name}.return"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CreditGate {self.name!r} {self._pool.level:g} free>"

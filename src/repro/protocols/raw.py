@@ -1,0 +1,153 @@
+"""Raw Ethernet datagram transport.
+
+Thin framing directly on Ethernet — no connection state, no ACKs, no
+congestion control.  Messages are segmented into MTU frames (optionally
+quantum-batched) and reassembled by byte count at the receiver.
+
+Used as:
+
+* the host-driven "protocol-processor-less" comparison point in
+  protocol ablation benches, and
+* the building block for the INIC's application-specific protocol
+  (Section 4.1: "INICs can use an application specific protocol ...
+  the protocol needs minimal acknowledgement information"), which adds
+  known-size transfer plans and coarse credits on top.
+
+Reliability note: delivery is only guaranteed while in-flight data fits
+the switch buffers — the transfer-plan property the INIC protocol
+enforces by construction.  The stack *detects* (and counts) losses via
+byte accounting; it does not recover them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import ProtocolError
+from ..hw.cpu import CPU
+from ..net.addresses import MacAddress
+from ..net.nic import StandardNIC
+from ..net.packet import ETHERNET_MTU, Frame
+from ..sim.engine import Event, Simulator
+from .base import Mailbox, MessageView, choose_quantum, next_message_id
+
+__all__ = ["RawConfig", "RawEthernetStack"]
+
+
+@dataclass(frozen=True)
+class RawConfig:
+    """Tunables for the raw datagram stack."""
+
+    mtu: int = ETHERNET_MTU
+    headers: int = 8  # minimal type/length/msg-id header
+    send_cost_per_frame: float = 1.0e-6  # host cost; 0 when driven by an INIC
+    recv_cost_per_frame: float = 1.0e-6
+    quantum_target_events: int = 48
+    max_quantum: int = 32
+
+    def __post_init__(self) -> None:
+        if self.mtu < 1 or self.headers < 0:
+            raise ProtocolError("invalid raw framing configuration")
+
+
+class RawEthernetStack:
+    """Connectionless framing + reassembly over one NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: StandardNIC,
+        cpu: Optional[CPU] = None,
+        config: RawConfig = RawConfig(),
+        name: str = "raw",
+    ):
+        self.sim = sim
+        self.nic = nic
+        self.cpu = cpu
+        self.config = config
+        self.name = name
+        self.mailbox = Mailbox(sim, name=f"{name}.mbox")
+        #: msg_id -> bytes received
+        self._progress: dict[int, int] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.frames_sent = 0
+        nic.bind_receiver(self._on_frame)
+
+    def send(
+        self, dst: MacAddress, nbytes: int, payload: Any = None, tag: int = 0
+    ) -> Event:
+        """Send a message; the event fires when the last frame is *queued*
+        on the wire (datagram semantics: no delivery confirmation)."""
+        if nbytes < 1:
+            raise ProtocolError(f"cannot send {nbytes} bytes")
+        done = self.sim.event(name=f"{self.name}.sent")
+        self.sim.process(
+            self._send_proc(dst, nbytes, payload, tag, done),
+            name=f"{self.name}.send",
+        )
+        self.messages_sent += 1
+        return done
+
+    def _send_proc(self, dst, nbytes, payload, tag, done):
+        cfg = self.config
+        msg_id = next_message_id()
+        n_frames = -(-nbytes // cfg.mtu)
+        quantum = choose_quantum(n_frames, cfg.quantum_target_events, cfg.max_quantum)
+        sent = 0
+        while sent < nbytes:
+            size = min(quantum * cfg.mtu, nbytes - sent)
+            frames = -(-size // cfg.mtu)
+            last = sent + size == nbytes
+            if self.cpu is not None and cfg.send_cost_per_frame > 0:
+                yield from self.cpu.busy(cfg.send_cost_per_frame * frames)
+            frame = Frame(
+                src=self.nic.address,
+                dst=dst,
+                payload_bytes=size,
+                headers=cfg.headers,
+                frame_count=frames,
+                kind="raw",
+                seq=sent,
+                payload=payload if last else None,
+                meta={"msg": msg_id, "tag": tag, "total": nbytes, "last": last},
+            )
+            yield from self.nic.transmit(frame)
+            self.frames_sent += frames
+            sent += size
+        done.succeed(None)
+
+    def recv(
+        self, src: Optional[MacAddress] = None, tag: Optional[int] = None
+    ) -> Event:
+        return self.mailbox.recv(src, tag)
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.kind != "raw":
+            raise ProtocolError(f"raw stack got foreign frame kind {frame.kind!r}")
+        cfg = self.config
+        if self.cpu is not None and cfg.recv_cost_per_frame > 0:
+            self.cpu.steal(cfg.recv_cost_per_frame * frame.frame_count)
+        msg_id = frame.meta["msg"]
+        got = self._progress.get(msg_id, 0) + frame.payload_bytes
+        if got == frame.meta["total"]:
+            self._progress.pop(msg_id, None)
+            self.messages_delivered += 1
+            self.mailbox.deliver(
+                MessageView(
+                    src=frame.src,
+                    tag=frame.meta["tag"],
+                    nbytes=frame.meta["total"],
+                    payload=frame.payload,
+                )
+            )
+        else:
+            self._progress[msg_id] = got
+
+    def lost_messages(self) -> int:
+        """Messages with missing bytes (only meaningful post-run)."""
+        return len(self._progress)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RawEthernetStack {self.name!r} on {self.nic.name!r}>"

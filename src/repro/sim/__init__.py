@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate.
+
+Public surface::
+
+    from repro.sim import Simulator, Timeout, Resource, Store, Container
+    from repro.sim import FCFSBus, FairShareBus, TraceRecorder, RandomStreams
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Simulator,
+    SimulationRunaway,
+    Timeout,
+    NORMAL,
+    URGENT,
+)
+from .bus import BusStats, FCFSBus, FairShareBus
+from .rand import RandomStreams
+from .resources import Container, Request, Resource, Store
+from .trace import Span, TraceRecorder, merge_intervals
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BusStats",
+    "Container",
+    "Event",
+    "FCFSBus",
+    "FairShareBus",
+    "NORMAL",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SimulationRunaway",
+    "Simulator",
+    "Span",
+    "Store",
+    "Timeout",
+    "TraceRecorder",
+    "URGENT",
+    "merge_intervals",
+]

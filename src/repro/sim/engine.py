@@ -1,0 +1,480 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete generator-coroutine DES kernel in the style of
+SimPy, written from scratch for this reproduction so the whole system has
+no dependencies beyond numpy/scipy.
+
+Concepts
+--------
+``Simulator``
+    Owns the event heap and the clock.  ``run()`` pops events in
+    (time, priority, sequence) order and fires their callbacks.
+
+``Event``
+    A one-shot occurrence.  Processes ``yield`` events to wait on them.
+    An event is *triggered* when scheduled and *processed* once its
+    callbacks have run.  ``succeed(value)`` / ``fail(exc)`` resolve it.
+
+``Timeout``
+    An event that triggers after a fixed delay.
+
+``Process``
+    Wraps a generator.  Each ``yield`` suspends the process until the
+    yielded event fires; the event's value is sent back into the
+    generator (or its exception thrown in).  A ``Process`` is itself an
+    event that triggers when the generator returns, making process
+    composition (``yield self.sim.process(child())``) natural.
+
+``AnyOf`` / ``AllOf``
+    Composite conditions over several events.
+
+Determinism
+-----------
+Events scheduled for the same timestamp fire in (priority, insertion
+order).  Nothing in the kernel consults a random source, so identical
+inputs yield identical schedules — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import Interrupt, ProcessError, SimTimeError
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "URGENT",
+    "NORMAL",
+]
+
+# Event priorities: URGENT events at a timestamp fire before NORMAL ones.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()  # sentinel: event value not yet set
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        #: callables invoked with this event when it is processed; set to
+        #: ``None`` afterwards so late additions fail loudly.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._scheduled = False
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) on the heap."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- resolution -------------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Resolve the event successfully at the current simulation time."""
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Resolve the event with an exception.
+
+        Any process waiting on it will have the exception thrown in.
+        """
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, priority)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when this event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (same semantics as adding a done-callback to a
+        resolved future).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimTimeError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim, name="init")
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        sim._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running simulated activity wrapping a generator.
+
+    The process is itself an :class:`Event` that triggers with the
+    generator's return value when it finishes (or fails with its
+    uncaught exception).
+    """
+
+    __slots__ = ("_generator", "_target", "is_alive")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise ProcessError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        #: the event this process is currently waiting on (None if running)
+        self._target: Optional[Event] = None
+        self.is_alive = True
+        Initialize(sim, self)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The process may catch it and continue; the event it was waiting
+        on stays pending and is simply no longer awaited by this process.
+        """
+        if not self.is_alive:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is None:
+            raise ProcessError(
+                f"cannot interrupt process {self.name!r} from within itself"
+            )
+        # Detach from the awaited event and resume with the interrupt at
+        # the current time, ahead of same-time ordinary events.
+        target, self._target = self._target, None
+        if target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wakeup = Event(self.sim, name="interrupt")
+        wakeup.callbacks.append(self._resume)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        self.sim._schedule(wakeup, URGENT)
+
+    # -- engine plumbing --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._generator.send(event._value)
+                    else:
+                        target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self.is_alive = False
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self.is_alive = False
+                    self._target = None
+                    self.fail(exc)
+                    return
+
+                if not isinstance(target, Event):
+                    exc = ProcessError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                    self.is_alive = False
+                    self._target = None
+                    self.fail(exc)
+                    return
+                if target.sim is not self.sim:
+                    exc = ProcessError(
+                        f"process {self.name!r} yielded event of another simulator"
+                    )
+                    self.is_alive = False
+                    self._target = None
+                    self.fail(exc)
+                    return
+
+                if target.callbacks is not None:
+                    # Target still pending: subscribe and suspend.
+                    target.callbacks.append(self._resume)
+                    self._target = target
+                    return
+                # Target already processed: loop and continue immediately.
+                event = target
+        finally:
+            self.sim._active_process = None
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name=type(self).__name__)
+        self.events = tuple(events)
+        self._n_fired = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise ProcessError("condition mixes events from different simulators")
+            ev.add_callback(self._on_fire)
+        if not self.events:
+            # Vacuous conditions resolve immediately.
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # ``processed`` (callbacks ran) rather than ``triggered``: a Timeout
+        # carries its value from creation, but it hasn't *happened* until
+        # the heap pops it.
+        return {ev: ev._value for ev in self.events if ev.processed}
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_fired += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when any constituent event triggers.
+
+    Value is a dict of the events that had fired by then.
+    """
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_fired >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all constituent events have triggered."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of scheduled events."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        #: number of events processed so far (diagnostics / loop guards)
+        self.event_count: int = 0
+
+    # -- clock ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule event in the past (delay={delay!r})")
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], None], name: str = "callback"
+    ) -> Event:
+        """Run ``fn()`` after ``delay`` seconds; returns the backing event."""
+        ev = Event(self, name=name)
+        ev.callbacks.append(lambda _ev: fn())
+        ev._ok = True
+        ev._value = None
+        self._schedule(ev, NORMAL, delay)
+        return ev
+
+    # -- execution ----------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none are queued."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - heap guarantees monotonicity
+            raise SimTimeError("event heap time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self.event_count += 1
+        for fn in callbacks:
+            fn(event)
+        if not event._ok and not callbacks:
+            # A failed event nobody waited on: surface the error instead of
+            # silently dropping it (mirrors simpy's behaviour).
+            raise event._value
+
+    def run(
+        self, until: Optional[float | Event] = None, max_events: Optional[int] = None
+    ) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the heap is empty.
+            ``float``
+                run until the clock reaches that time.
+            ``Event``
+                run until that event is processed; returns its value
+                (raising its exception if it failed).
+        max_events:
+            optional hard cap on processed events (guards against
+            accidental infinite event loops in tests).
+        """
+        stop_value: list[Any] = []
+        if isinstance(until, Event):
+            target = until
+
+            def _stop(ev: Event) -> None:
+                stop_value.append(ev)
+
+            target.add_callback(_stop)
+            horizon = float("inf")
+        elif until is None:
+            target = None
+            horizon = float("inf")
+        else:
+            target = None
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimTimeError(
+                    f"cannot run until {horizon!r}: clock already at {self._now!r}"
+                )
+
+        processed = 0
+        while self._heap:
+            if stop_value:
+                break
+            if self.peek() > horizon:
+                self._now = horizon
+                break
+            self.step()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationRunaway(
+                    f"exceeded max_events={max_events} (clock at {self._now:g}s)"
+                )
+        else:
+            # Heap drained; advance clock to the horizon for time-based runs.
+            if target is None and horizon != float("inf"):
+                self._now = horizon
+
+        if target is not None:
+            if not stop_value:
+                raise RuntimeError(
+                    f"simulation ran out of events before {target!r} triggered"
+                )
+            ev = stop_value[0]
+            if ev._ok:
+                return ev._value
+            raise ev._value
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:g}s queued={len(self._heap)}>"
+
+
+class SimulationRunaway(SimTimeError):
+    """Raised when ``run(max_events=...)`` exceeds its event budget."""

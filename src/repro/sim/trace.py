@@ -1,0 +1,134 @@
+"""Instrumentation: spans, counters, and timelines.
+
+Every experiment in the paper is a *decomposition* of run time into
+phases (Fig. 4(b): transpose comm vs compute; Fig. 5(a): bucket-sort
+phases vs comm).  The :class:`TraceRecorder` collects named spans so the
+benchmark harness can report exactly those decompositions.
+
+A span is ``(name, start, end, meta)``.  Spans with the same name
+aggregate; overlapping spans of one name are merged with interval union
+when computing *wall* time (so "communication time" with 15 concurrent
+transfers is the union, not the sum — matching how the paper reports
+phase times).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from .engine import Simulator
+
+__all__ = ["Span", "TraceRecorder", "merge_intervals"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval of simulation time attributed to a named phase."""
+
+    name: str
+    start: float
+    end: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping intervals, as a sorted disjoint list."""
+    ivs = sorted(intervals)
+    merged: list[tuple[float, float]] = []
+    for s, e in ivs:
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+    return merged
+
+
+class _OpenSpan:
+    __slots__ = ("recorder", "name", "start", "meta")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, meta: dict[str, Any]):
+        self.recorder = recorder
+        self.name = name
+        self.start = recorder.sim.now
+        self.meta = meta
+
+    def close(self) -> Span:
+        span = Span(self.name, self.start, self.recorder.sim.now, self.meta)
+        self.recorder.spans.append(span)
+        return span
+
+
+class TraceRecorder:
+    """Collects spans and counters during a simulation run."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = defaultdict(float)
+
+    # -- spans -----------------------------------------------------------------
+    def open(self, name: str, **meta: Any) -> _OpenSpan:
+        """Begin a span; call ``.close()`` on the returned handle."""
+        return _OpenSpan(self, name, meta)
+
+    def record(self, name: str, start: float, end: float, **meta: Any) -> Span:
+        """Record a span with explicit bounds."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts ({start}..{end})")
+        span = Span(name, start, end, meta)
+        self.spans.append(span)
+        return span
+
+    def span(self, name: str, **meta: Any):
+        """Decorator-free context helper for processes::
+
+            handle = trace.open("comm", rank=3)
+            yield ...
+            handle.close()
+        """
+        return self.open(name, **meta)
+
+    # -- counters --------------------------------------------------------------
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        self.counters[counter] += amount
+
+    def get(self, counter: str) -> float:
+        return self.counters.get(counter, 0.0)
+
+    # -- queries -----------------------------------------------------------------
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def total(self, name: str) -> float:
+        """Sum of durations of all spans named ``name`` (CPU-time view)."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def wall(self, name: str) -> float:
+        """Union duration of spans named ``name`` (wall-clock view)."""
+        ivs = merge_intervals(
+            (s.start, s.end) for s in self.spans if s.name == name
+        )
+        return sum(e - s for s, e in ivs)
+
+    def names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.name, None)
+        return list(seen)
+
+    def breakdown(self, wall: bool = True) -> dict[str, float]:
+        """Phase-name -> time map (wall union by default)."""
+        return {n: (self.wall(n) if wall else self.total(n)) for n in self.names()}
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceRecorder {len(self.spans)} spans, {len(self.counters)} counters>"

@@ -1,0 +1,114 @@
+"""Physical units and conversion helpers used throughout the simulator.
+
+The paper (and the 2001-era hardware it describes) mixes decimal network
+units (Gigabit Ethernet = :math:`10^9` bits/s) with binary memory units
+(the analytical model divides by ``80 * 1024 * 1024`` bytes/s).  To keep
+every constant auditable we define both families explicitly and never use
+bare magic numbers in model code.
+
+All simulation time is expressed in **seconds** as ``float``.  All data
+quantities are **bytes** as ``int`` (or ``float`` for rates).
+"""
+
+from __future__ import annotations
+
+# --- data sizes (binary, as used by the paper's equations) -----------------
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# --- data sizes (decimal, as used by network marketing) --------------------
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+# --- time -------------------------------------------------------------------
+SECOND: float = 1.0
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+NANOSECOND: float = 1e-9
+
+# Convenience aliases matching common notation.
+MS = MILLISECOND
+US = MICROSECOND
+NS = NANOSECOND
+
+
+def mbps(megabits_per_second: float) -> float:
+    """Convert decimal megabits/s to bytes/s.
+
+    >>> mbps(100)  # Fast Ethernet
+    12500000.0
+    """
+    return megabits_per_second * 1e6 / 8.0
+
+
+def gbps(gigabits_per_second: float) -> float:
+    """Convert decimal gigabits/s to bytes/s.
+
+    >>> gbps(1)  # Gigabit Ethernet
+    125000000.0
+    """
+    return gigabits_per_second * 1e9 / 8.0
+
+
+def mib_per_s(mebibytes_per_second: float) -> float:
+    """Convert MiB/s to bytes/s (the unit of the paper's Eqs. 6-9, 13-16)."""
+    return mebibytes_per_second * MiB
+
+
+def mb_per_s(megabytes_per_second: float) -> float:
+    """Convert decimal MB/s to bytes/s (e.g. PCI 132 MB/s)."""
+    return megabytes_per_second * 1e6
+
+
+def bytes_to_kib(n: float) -> float:
+    """Bytes to KiB (the paper's 'Partition Size (in KB)' axes are KiB)."""
+    return n / KiB
+
+
+def bytes_to_mib(n: float) -> float:
+    """Bytes to MiB."""
+    return n / MiB
+
+
+def seconds_to_ms(t: float) -> float:
+    """Seconds to milliseconds (the paper's time axes are ms)."""
+    return t / MILLISECOND
+
+
+def transfer_time(nbytes: float, rate_bytes_per_s: float) -> float:
+    """Time to move ``nbytes`` at ``rate_bytes_per_s``.
+
+    Guards against zero/negative rates so model bugs fail loudly instead of
+    silently producing infinities.
+    """
+    if rate_bytes_per_s <= 0.0:
+        raise ValueError(f"non-positive transfer rate: {rate_bytes_per_s!r}")
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes!r}")
+    return nbytes / rate_bytes_per_s
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units), for reports and traces."""
+    x = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(x) < 1024.0 or unit == "GiB":
+            return f"{x:.4g} {unit}" if unit != "B" else f"{int(x)} B"
+        x /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(t: float) -> str:
+    """Human-readable time, for reports and traces."""
+    if t == 0:
+        return "0 s"
+    at = abs(t)
+    if at >= 1.0:
+        return f"{t:.4g} s"
+    if at >= MILLISECOND:
+        return f"{t / MILLISECOND:.4g} ms"
+    if at >= MICROSECOND:
+        return f"{t / MICROSECOND:.4g} us"
+    return f"{t / NANOSECOND:.4g} ns"

@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness, report, and calibration modules."""
+
+import pytest
+
+from repro.bench import (
+    Experiment,
+    Scale,
+    ascii_plot,
+    compare_des_vs_model,
+    measure_kernel_rates,
+    render_table,
+    shape_summary,
+    to_markdown,
+)
+from repro.bench.figures import fig4a, fig4b, fig5a, fig5b
+from repro.errors import ApplicationError, CalibrationError
+from repro.models.speedup import Series
+
+
+def small_exp():
+    e = Experiment("figX", "demo", "P", "speedup")
+    e.add(Series("a", [1, 2, 4], [1.0, 1.9, 3.5]))
+    e.add(Series("b", [1, 2, 4], [1.0, 1.2, 1.5]))
+    e.notes.append("a note")
+    return e
+
+
+# --- harness ------------------------------------------------------------------------
+def test_scales_have_distinct_sizes():
+    paper, bench, ci = Scale.paper(), Scale.bench(), Scale.ci()
+    assert paper.sort_keys > bench.sort_keys > ci.sort_keys
+    assert max(paper.fft_sizes) > max(ci.fft_sizes)
+
+
+def test_render_table_contains_all_points():
+    out = render_table(small_exp())
+    assert "figX" in out
+    assert "3.50" in out and "1.20" in out
+    assert "a note" in out
+
+
+def test_series_named_lookup():
+    e = small_exp()
+    assert e.series_named("a").at(4) == 3.5
+    with pytest.raises(ApplicationError):
+        e.series_named("zzz")
+
+
+def test_render_table_handles_missing_points():
+    e = small_exp()
+    e.add(Series("partial", [2], [9.0]))
+    out = render_table(e)
+    assert "9.00" in out
+    assert "-" in out  # missing cells rendered as dashes
+
+
+# --- report ---------------------------------------------------------------------------
+def test_ascii_plot_renders():
+    out = ascii_plot(small_exp())
+    assert "figX" in out
+    assert "o = a" in out
+    assert "x = b" in out
+
+
+def test_to_markdown_table():
+    md = to_markdown(small_exp())
+    assert md.count("|") > 10
+    assert "**figX" in md
+    assert "*a note*" in md
+
+
+def test_shape_summary():
+    s = shape_summary(Series("s", [1, 2, 3], [1.0, 3.0, 2.0]))
+    assert s["peak"] == 3.0
+    assert s["first"] == 1.0 and s["last"] == 2.0
+    assert s["rising_fraction"] == pytest.approx(0.5)
+
+
+# --- figure functions at CI scale (cheap smoke coverage) -----------------------------------
+@pytest.mark.parametrize("fig", [fig4a, fig4b, fig5a, fig5b])
+def test_analytic_figures_produce_series(fig):
+    exp = fig(Scale.ci())
+    assert exp.series
+    for s in exp.series:
+        assert len(s.x) == len(s.y) > 0
+        assert all(v >= 0 for v in s.y)
+
+
+# --- calibration -----------------------------------------------------------------------------
+def test_measure_kernel_rates_sane():
+    rates = measure_kernel_rates(n_keys=1 << 14, fft_n=1 << 10, fft_rows=8)
+    assert rates.count_sort_keys_per_s > 1e4
+    assert rates.bucket_split_keys_per_s > 1e4
+    assert rates.fft_flops_per_s > 1e6
+    assert rates.count_vs_quick > 1.0  # count sort wins
+
+
+def test_measure_kernel_rates_validates():
+    with pytest.raises(CalibrationError):
+        measure_kernel_rates(n_keys=10)
+
+
+def test_compare_des_vs_model():
+    # A DES time equal to the model gives 0 deviation.
+    from repro.cluster import athlon_node
+    from repro.models import gige_fft_time
+
+    h = athlon_node().hierarchy()
+    model = gige_fft_time(256, 4, h)
+    assert compare_des_vs_model(model, 256, 4, "gige") == pytest.approx(0.0)
+    assert compare_des_vs_model(2 * model, 256, 4, "gige") == pytest.approx(1.0)
+    with pytest.raises(CalibrationError):
+        compare_des_vs_model(1.0, 256, 4, "quantum")
+
+
+def test_des_and_model_agree_for_gige_fft():
+    """The packet-level DES and the calibrated closed form describe the
+    same machine: within a factor-of-2 band across configurations."""
+    import numpy as np
+
+    from repro.apps.fft import baseline_fft2d
+    from repro.cluster import Cluster, ClusterSpec
+
+    g = np.random.default_rng(1)
+    m = g.standard_normal((256, 256)) + 1j * g.standard_normal((256, 256))
+    for p in (2, 8):
+        cluster = Cluster.build(ClusterSpec(n_nodes=p))
+        _, res = baseline_fft2d(cluster, m)
+        dev = compare_des_vs_model(res.makespan, 256, p, "gige")
+        assert abs(dev) < 1.0, f"DES vs model deviation {dev:.2f} at P={p}"

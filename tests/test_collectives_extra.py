@@ -1,0 +1,128 @@
+"""Tests for the extended collectives (gather/scatter/reduce) and the
+inverse distributed FFTs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import baseline_ifft2d, inic_ifft2d
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    ParallelApp,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.core import build_acc
+from repro.errors import ApplicationError
+
+
+def make_app(p):
+    cluster = Cluster.build(ClusterSpec(n_nodes=p))
+    return cluster, ParallelApp(cluster)
+
+
+# --- gather -----------------------------------------------------------------------
+def test_gather_collects_at_root():
+    _, app = make_app(4)
+
+    def program(ctx):
+        items = yield from gather(ctx, f"item-{ctx.rank}", 100, root=2)
+        return items
+
+    result = app.run(program)
+    assert result.rank_results[2] == [f"item-{r}" for r in range(4)]
+    for r in (0, 1, 3):
+        assert result.rank_results[r] is None
+
+
+# --- scatter -----------------------------------------------------------------------
+def test_scatter_distributes_from_root():
+    _, app = make_app(4)
+    items = [np.full(8, r) for r in range(4)]
+
+    def program(ctx):
+        mine = yield from scatter(
+            ctx, items if ctx.rank == 0 else None, items[0].nbytes, root=0
+        )
+        return int(mine[0])
+
+    result = app.run(program)
+    assert result.rank_results == [0, 1, 2, 3]
+
+
+def test_scatter_validates_item_count():
+    _, app = make_app(2)
+
+    def program(ctx):
+        yield from scatter(ctx, [1] if ctx.rank == 0 else None, 8, root=0)
+
+    with pytest.raises(ApplicationError):
+        app.run(program)
+
+
+# --- reduce -------------------------------------------------------------------------
+def test_reduce_sums_at_root():
+    _, app = make_app(4)
+
+    def program(ctx):
+        out = yield from reduce(ctx, np.full(16, float(ctx.rank + 1)), root=1)
+        return None if out is None else float(out[0])
+
+    result = app.run(program)
+    assert result.rank_results[1] == 10.0
+    assert result.rank_results[0] is None
+
+
+def test_reduce_single_rank():
+    _, app = make_app(1)
+
+    def program(ctx):
+        out = yield from reduce(ctx, np.arange(4.0))
+        return out
+
+    result = app.run(program)
+    assert np.array_equal(result.rank_results[0], np.arange(4.0))
+
+
+def test_reduce_custom_op():
+    _, app = make_app(3)
+
+    def program(ctx):
+        out = yield from reduce(
+            ctx, np.full(4, float(ctx.rank)), op=np.maximum, root=0
+        )
+        return None if out is None else float(out[0])
+
+    result = app.run(program)
+    assert result.rank_results[0] == 2.0
+
+
+# --- inverse FFTs ----------------------------------------------------------------------
+def test_baseline_ifft_round_trip():
+    g = np.random.default_rng(5)
+    m = g.standard_normal((32, 32)) + 1j * g.standard_normal((32, 32))
+    cluster = Cluster.build(ClusterSpec(n_nodes=4))
+    out, _ = baseline_ifft2d(cluster, m)
+    assert np.allclose(out, np.fft.ifft2(m), atol=1e-9)
+
+
+def test_inic_ifft_round_trip():
+    g = np.random.default_rng(6)
+    m = g.standard_normal((32, 32)) + 1j * g.standard_normal((32, 32))
+    cluster, manager = build_acc(2)
+    out, _ = inic_ifft2d(cluster, manager, m)
+    assert np.allclose(out, np.fft.ifft2(m), atol=1e-9)
+
+
+def test_forward_inverse_identity_through_cluster():
+    """fft then ifft through two separate simulated runs == identity."""
+    from repro.apps.fft import baseline_fft2d
+
+    g = np.random.default_rng(7)
+    m = g.standard_normal((16, 16)) + 1j * g.standard_normal((16, 16))
+    c1 = Cluster.build(ClusterSpec(n_nodes=2))
+    fwd, _ = baseline_fft2d(c1, m)
+    c2 = Cluster.build(ClusterSpec(n_nodes=2))
+    back, _ = baseline_ifft2d(c2, fwd)
+    assert np.allclose(back, m, atol=1e-8)

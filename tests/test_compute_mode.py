@@ -1,0 +1,69 @@
+"""Tests for the compute-accelerator application (Section 2, mode 1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.compute import host_map, inic_map
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import build_acc
+from repro.errors import ApplicationError
+
+
+def make_items(n_items=8, n=4096, seed=0):
+    g = np.random.default_rng(seed)
+    return [g.standard_normal(n) for _ in range(n_items)]
+
+
+KERNEL = lambda d: np.cumsum(d)  # noqa: E731 - a streaming-friendly kernel
+
+
+def test_host_and_inic_maps_agree():
+    items = make_items()
+    cluster = Cluster.build(ClusterSpec(n_nodes=4))
+    host_out, _ = host_map(cluster, KERNEL, items)
+    acc, manager = build_acc(4)
+    inic_out, _ = inic_map(acc, manager, KERNEL, items)
+    for a, b in zip(host_out, inic_out):
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, None) is False
+
+
+def test_inic_map_frees_host_cpu():
+    items = make_items(n_items=16, n=1 << 15)
+    cluster = Cluster.build(ClusterSpec(n_nodes=2))
+    _, host_res = host_map(cluster, KERNEL, items, flops_per_byte=16.0)
+    host_busy = sum(n.cpu.busy_time for n in cluster.nodes)
+
+    acc, manager = build_acc(2)
+    _, inic_res = inic_map(acc, manager, KERNEL, items)
+    inic_busy = sum(n.cpu.busy_time for n in acc.nodes)
+    # The offloaded run leaves the host nearly idle.
+    assert inic_busy < 0.1 * host_busy
+    # And each item cost one completion interrupt.
+    assert manager.total_completion_interrupts() == len(items)
+
+
+def test_round_robin_covers_all_items():
+    items = make_items(n_items=7)
+    cluster = Cluster.build(ClusterSpec(n_nodes=3))
+    out, _ = host_map(cluster, KERNEL, items)
+    assert all(o is not None for o in out)
+
+
+def test_empty_items_rejected():
+    cluster = Cluster.build(ClusterSpec(n_nodes=2))
+    with pytest.raises(ApplicationError):
+        host_map(cluster, KERNEL, [])
+    acc, manager = build_acc(2)
+    with pytest.raises(ApplicationError):
+        inic_map(acc, manager, KERNEL, [])
+
+
+def test_compute_mode_network_unaffected():
+    """Section 2: compute mode keeps 'a separate path to host memory
+    ... to allow normal network operations' — card compute runs while
+    the fabric is idle and no frames are generated."""
+    items = make_items(n_items=4)
+    acc, manager = build_acc(2)
+    inic_map(acc, manager, KERNEL, items)
+    assert all(n.require_inic().stats.frames_sent == 0 for n in acc.nodes)

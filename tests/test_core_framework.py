@@ -1,0 +1,181 @@
+"""Tests for the offload framework (modes, designs, manager, driver)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INICManager,
+    Mode,
+    build_acc,
+    build_beowulf,
+    collective_design,
+    datatype_design,
+    fft_transpose_design,
+    integer_sort_design,
+    protocol_processor_design,
+    supported_bucket_count,
+    validate_mode_cores,
+)
+from repro.errors import ConfigurationError
+from repro.inic import ACEII_PROTOTYPE, IDEAL_INIC, SendBlock
+from repro.net import MacAddress
+from repro.protocols import TransferPlan
+
+
+# --- modes ------------------------------------------------------------------------
+def test_mode_parse():
+    assert Mode.parse("compute") is Mode.COMPUTE
+    assert Mode.parse(Mode.PROTOCOL) is Mode.PROTOCOL
+    with pytest.raises(ConfigurationError):
+        Mode.parse("turbo")
+
+
+def test_protocol_mode_rejects_compute_cores():
+    with pytest.raises(ConfigurationError):
+        validate_mode_cores("protocol", ["packetize", "bucket-sort-16"])
+
+
+def test_compute_mode_rejects_protocol_cores():
+    with pytest.raises(ConfigurationError):
+        validate_mode_cores("compute", ["packetize", "reduce-sum"])
+
+
+def test_combined_mode_needs_protocol_path():
+    with pytest.raises(ConfigurationError):
+        validate_mode_cores("combined", ["bucket-sort-16"])
+    validate_mode_cores("combined", ["packetize", "depacketize", "bucket-sort-16"])
+
+
+# --- designs -----------------------------------------------------------------------
+def test_fft_design_has_both_transform_cores():
+    d = fft_transpose_design()
+    assert d.has_core("local-transpose")
+    assert d.has_core("final-permutation")
+    assert d.mode == "combined"
+
+
+def test_sort_design_autosizes_to_card():
+    proto = integer_sort_design(ACEII_PROTOTYPE)
+    ideal = integer_sort_design(IDEAL_INIC)
+    assert proto.has_core("bucket-sort-16")
+    assert any(
+        c.spec.name == f"bucket-sort-{n}"
+        for n in (128, 256)
+        for c in ideal.cores
+    )
+
+
+def test_supported_bucket_count_matches_section6():
+    assert supported_bucket_count(ACEII_PROTOTYPE) == 16
+    assert supported_bucket_count(IDEAL_INIC) >= 128
+
+
+def test_all_factories_validate():
+    protocol_processor_design()
+    collective_design("max")
+    datatype_design()
+
+
+# --- builders / manager ----------------------------------------------------------------
+def test_build_acc_and_configure_all():
+    cluster, manager = build_acc(4)
+    dt = manager.configure_all(fft_transpose_design)
+    assert dt == pytest.approx(cluster.nodes[0].require_inic().fabric.config_time)
+    assert manager.reconfigurations() == 4
+    for node in cluster.nodes:
+        assert node.require_inic().design.name == "fft-transpose"
+
+
+def test_manager_requires_inic_cluster():
+    cluster = build_beowulf(2)
+    with pytest.raises(ConfigurationError):
+        INICManager(cluster)
+
+
+def test_reconfiguration_counted():
+    cluster, manager = build_acc(2)
+    manager.configure_all(fft_transpose_design)
+    manager.configure_all(lambda: integer_sort_design(IDEAL_INIC))
+    assert manager.reconfigurations() == 4
+
+
+# --- driver --------------------------------------------------------------------------
+def test_driver_exchange_round_trip():
+    cluster, manager = build_acc(2)
+    manager.configure_all(fft_transpose_design)
+    sim = cluster.sim
+    payload = np.arange(256, dtype=np.float64)
+    out = {}
+
+    def rank0():
+        drv = manager.driver(0)
+        plan = TransferPlan(sim, {1: payload.nbytes})
+        result = yield from drv.exchange(
+            11,
+            [SendBlock(MacAddress(1), payload.nbytes, payload)],
+            plan,
+        )
+        out[0] = result
+
+    def rank1():
+        drv = manager.driver(1)
+        plan = TransferPlan(sim, {0: payload.nbytes})
+        result = yield from drv.exchange(
+            11,
+            [SendBlock(MacAddress(0), payload.nbytes, payload * 2)],
+            plan,
+        )
+        out[1] = result
+
+    sim.process(rank0())
+    sim.process(rank1())
+    sim.run()
+    assert np.array_equal(out[0][1][0], payload * 2)
+    assert np.array_equal(out[1][0][0], payload)
+    # One completion interrupt per gather, cluster-wide.
+    assert manager.total_completion_interrupts() == 2
+
+
+def test_driver_protocol_mode_messaging():
+    cluster, manager = build_acc(2)
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+    data = np.arange(5000, dtype=np.uint8)
+    out = {}
+
+    def sender():
+        yield from manager.driver(0).send_message(
+            MacAddress(1), data.nbytes, payload=data, tag=3
+        )
+
+    def receiver():
+        got = yield from manager.driver(1).recv_message(
+            MacAddress(0), data.nbytes, tag=3
+        )
+        out["msg"] = got
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert np.array_equal(out["msg"], data)
+
+
+def test_exchange_records_trace_span():
+    cluster, manager = build_acc(2)
+    manager.configure_all(fft_transpose_design)
+    sim = cluster.sim
+    payload = np.zeros(1024, dtype=np.uint8)
+
+    def rank(r):
+        drv = manager.driver(r)
+        plan = TransferPlan(sim, {1 - r: payload.nbytes})
+        yield from drv.exchange(
+            21, [SendBlock(MacAddress(1 - r), payload.nbytes, payload)], plan
+        )
+
+    sim.process(rank(0))
+    sim.process(rank(1))
+    sim.run()
+    spans = cluster.trace.spans_named("inic-exchange")
+    assert len(spans) == 2
+    assert all(s.duration > 0 for s in spans)

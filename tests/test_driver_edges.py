@@ -1,0 +1,129 @@
+"""Error-path and edge-case tests for the driver/manager/card surface."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_acc, fft_transpose_design, protocol_processor_design
+from repro.errors import OffloadError
+from repro.inic import SendBlock
+from repro.net import MacAddress
+from repro.protocols import TransferPlan
+
+
+def test_duplicate_gather_tag_rejected():
+    cluster, manager = build_acc(2)
+    manager.configure_all(protocol_processor_design)
+    card = manager.driver(0).card
+    sim = cluster.sim
+    card.post_gather(5, TransferPlan(sim, {1: 100}))
+    with pytest.raises(OffloadError):
+        card.post_gather(5, TransferPlan(sim, {1: 100}))
+
+
+def test_gather_tag_reusable_after_completion():
+    cluster, manager = build_acc(2)
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+    data = np.arange(100, dtype=np.uint8)
+    out = []
+
+    def sender():
+        for i in range(2):
+            yield from manager.driver(0).send_message(
+                MacAddress(1), 100, payload=data, tag=7
+            )
+
+    def receiver():
+        for _ in range(2):
+            got = yield from manager.driver(1).recv_message(
+                MacAddress(0), 100, tag=7
+            )
+            out.append(got)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert len(out) == 2 and all(np.array_equal(o, data) for o in out)
+
+
+def test_require_core_without_design():
+    cluster, manager = build_acc(1)
+    card = manager.driver(0).card
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        card.require_core("local-transpose")
+
+
+def test_descriptor_posts_counted():
+    cluster, manager = build_acc(2)
+    manager.configure_all(fft_transpose_design)
+    sim = cluster.sim
+    drv = manager.driver(0)
+
+    def proc():
+        plan = TransferPlan(sim, {1: 64})
+        gop = yield from drv.gather(3, plan)
+        yield from drv.scatter(3, [SendBlock(MacAddress(1), 64)])
+
+    def peer():
+        plan = TransferPlan(sim, {0: 64})
+        g = yield from manager.driver(1).gather(3, plan)
+        yield from manager.driver(1).scatter(3, [SendBlock(MacAddress(0), 64)])
+        yield g.done
+
+    p1 = sim.process(proc())
+    p2 = sim.process(peer())
+    sim.run(until=sim.all_of([p1, p2]))
+    assert drv.descriptors_posted == 2  # one gather + one scatter block
+
+
+def test_send_message_validates():
+    cluster, manager = build_acc(2)
+    manager.configure_all(protocol_processor_design)
+    with pytest.raises(OffloadError):
+        list(manager.driver(0).send_message(MacAddress(1), 0))
+
+
+def test_gather_result_without_assemble_is_payload_map():
+    cluster, manager = build_acc(2)
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+    arr = np.arange(32, dtype=np.int16)
+    results = {}
+
+    def a():
+        op = manager.driver(0).card.post_scatter(
+            9, [SendBlock(MacAddress(1), arr.nbytes, arr)]
+        )
+        yield op.sent
+
+    def b():
+        op = manager.driver(1).card.post_gather(
+            9, TransferPlan(sim, {0: arr.nbytes})
+        )
+        results["out"] = yield op.done
+
+    sim.process(a())
+    sim.process(b())
+    sim.run()
+    assert set(results["out"].keys()) == {0}
+    assert np.array_equal(results["out"][0][0], arr)
+
+
+def test_card_memory_peak_tracked():
+    cluster, manager = build_acc(2)
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+
+    def sender():
+        yield from manager.driver(0).send_message(MacAddress(1), 256 * 1024)
+
+    def receiver():
+        yield from manager.driver(1).recv_message(MacAddress(0), 256 * 1024)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert manager.driver(0).card.stats.peak_memory_bytes > 0
+    assert manager.driver(1).card.stats.peak_memory_bytes > 0

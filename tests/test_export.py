@@ -1,0 +1,43 @@
+"""Tests for the CSV exporter."""
+
+import csv
+import os
+
+import pytest
+
+from repro.bench import Experiment
+from repro.bench.export import export_all_csv, export_csv
+from repro.errors import ApplicationError
+from repro.models.speedup import Series
+
+
+def make_exp():
+    e = Experiment("figT", "test figure", "P", "speedup")
+    e.add(Series("alpha", [1, 2], [1.0, 1.5]))
+    e.add(Series("beta", [1, 2], [1.0, 0.9]))
+    return e
+
+
+def test_export_csv_round_trip(tmp_path):
+    path = export_csv(make_exp(), str(tmp_path))
+    assert os.path.basename(path) == "figT.csv"
+    with open(path) as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["experiment", "title", "series", "P", "speedup"]
+    assert len(rows) == 1 + 4  # header + 2 series x 2 points
+    assert rows[1][2] == "alpha"
+    assert float(rows[2][4]) == 1.5
+
+
+def test_export_all(tmp_path):
+    e1, e2 = make_exp(), make_exp()
+    e2.exp_id = "figU"
+    paths = export_all_csv([e1, e2], str(tmp_path))
+    assert len(paths) == 2
+    assert all(os.path.exists(p) for p in paths)
+
+
+def test_export_empty_rejected(tmp_path):
+    empty = Experiment("figE", "empty", "x", "y")
+    with pytest.raises(ApplicationError):
+        export_csv(empty, str(tmp_path))

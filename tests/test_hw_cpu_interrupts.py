@@ -1,0 +1,208 @@
+"""Unit tests for the CPU and interrupt-controller models."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw import (
+    CPU,
+    CacheLevel,
+    CoalescePolicy,
+    InterruptController,
+    MemoryHierarchy,
+)
+from repro.sim import Simulator
+
+
+def make_cpu(sim, **kw):
+    mh = MemoryHierarchy(
+        [
+            CacheLevel("L1", 64 * 1024, 8e9, 4e9),
+            CacheLevel("DRAM", float("inf"), 0.6e9, 0.12e9),
+        ]
+    )
+    return CPU(sim, mh, **kw)
+
+
+# --- CPU ------------------------------------------------------------------------
+def test_busy_takes_requested_time():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+
+    def proc():
+        yield from cpu.busy(0.25)
+        return sim.now
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == pytest.approx(0.25)
+
+
+def test_busy_serializes_on_single_core():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    ends = []
+
+    def proc(tag):
+        yield from cpu.busy(1.0)
+        ends.append((tag, sim.now))
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert ends == [("a", 1.0), ("b", 2.0)]
+
+
+def test_interrupt_theft_extends_running_task():
+    sim = Simulator()
+    cpu = make_cpu(sim, interrupt_cost=0.01)
+
+    def thief():
+        yield sim.timeout(0.5)
+        cpu.charge_interrupt(10)  # 0.1s stolen mid-task
+
+    def worker():
+        yield from cpu.busy(1.0)
+        return sim.now
+
+    sim.process(thief())
+    p = sim.process(worker())
+    assert sim.run(until=p) == pytest.approx(1.1)
+    assert cpu.interrupt_time == pytest.approx(0.1)
+
+
+def test_steal_before_task_charged_to_next_task():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    cpu.steal(0.5)
+
+    def worker():
+        yield from cpu.busy(1.0)
+        return sim.now
+
+    p = sim.process(worker())
+    assert sim.run(until=p) == pytest.approx(1.5)
+
+
+def test_flops_time():
+    sim = Simulator()
+    cpu = make_cpu(sim, clock_hz=1e9, flops_per_cycle=2.0)
+    assert cpu.flops_time(2e9) == pytest.approx(1.0)
+
+
+def test_task_time_roofline():
+    sim = Simulator()
+    cpu = make_cpu(sim, clock_hz=1e9, flops_per_cycle=1.0)
+    # Compute-bound: many flops, few bytes.
+    assert cpu.task_time(flops=1e9, nbytes=8) == pytest.approx(1.0)
+    # Memory-bound: DRAM stream at 0.6e9 B/s.
+    t = cpu.task_time(flops=1, nbytes=6e8, working_set=6e8)
+    assert t == pytest.approx(1.0)
+
+
+def test_negative_busy_rejected():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    with pytest.raises(HardwareError):
+        list(cpu.busy(-1.0))
+
+
+def test_busy_time_statistics():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+
+    def worker():
+        yield from cpu.busy(0.5)
+        yield from cpu.busy(0.25)
+
+    sim.process(worker())
+    sim.run()
+    assert cpu.busy_time == pytest.approx(0.75)
+    assert cpu.tasks_run == 2
+
+
+# --- InterruptController ----------------------------------------------------------
+def test_immediate_policy_delivers_per_cause():
+    sim = Simulator()
+    delivered = []
+    ic = InterruptController(sim, handler=lambda n: delivered.append(n))
+    for _ in range(5):
+        ic.raise_irq()
+    sim.run()
+    assert delivered == [1, 1, 1, 1, 1]
+    assert ic.coalescing_ratio() == pytest.approx(1.0)
+
+
+def test_frame_threshold_coalesces():
+    sim = Simulator()
+    delivered = []
+    ic = InterruptController(
+        sim,
+        policy=CoalescePolicy(delay=1.0, max_frames=4),
+        handler=lambda n: delivered.append((n, sim.now)),
+    )
+    for _ in range(4):
+        ic.raise_irq()
+    sim.run()
+    assert delivered == [(4, 0.0)]
+
+
+def test_timer_fires_for_partial_batch():
+    sim = Simulator()
+    delivered = []
+    ic = InterruptController(
+        sim,
+        policy=CoalescePolicy(delay=0.5, max_frames=100),
+        handler=lambda n: delivered.append((n, sim.now)),
+    )
+
+    def dev():
+        ic.raise_irq()
+        yield sim.timeout(0.1)
+        ic.raise_irq()
+
+    sim.process(dev())
+    sim.run()
+    # Timer armed at first cause (t=0), fires at 0.5 with both causes.
+    assert delivered == [(2, 0.5)]
+
+
+def test_threshold_delivery_cancels_timer():
+    sim = Simulator()
+    delivered = []
+    ic = InterruptController(
+        sim,
+        policy=CoalescePolicy(delay=10.0, max_frames=2),
+        handler=lambda n: delivered.append((n, sim.now)),
+    )
+    ic.raise_irq()
+    ic.raise_irq()  # hits threshold immediately
+    sim.run()
+    assert delivered == [(2, 0.0)]
+    assert ic.pending == 0
+
+
+def test_coalescing_adds_latency_for_single_packet():
+    """The paper's point: mitigation delays short-message delivery."""
+    sim = Simulator()
+    delivered = []
+    ic = InterruptController(
+        sim,
+        policy=CoalescePolicy(delay=70e-6, max_frames=8),
+        handler=lambda n: delivered.append(sim.now),
+    )
+    ic.raise_irq()
+    sim.run()
+    assert delivered == [pytest.approx(70e-6)]
+
+
+def test_invalid_policy():
+    with pytest.raises(ValueError):
+        CoalescePolicy(delay=-1.0)
+    with pytest.raises(ValueError):
+        CoalescePolicy(max_frames=0)
+
+
+def test_raise_zero_causes_rejected():
+    sim = Simulator()
+    ic = InterruptController(sim)
+    with pytest.raises(ValueError):
+        ic.raise_irq(0)

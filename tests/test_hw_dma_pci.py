@@ -1,0 +1,106 @@
+"""Unit tests for the DMA engine and PCI bus factories."""
+
+import pytest
+
+from repro.errors import DMAError
+from repro.hw import DMAEngine, card_local_bus, pci_32_33, pci_64_66, pcix_133
+from repro.sim import FCFSBus, FairShareBus, Simulator
+
+
+def test_dma_transfer_time_includes_setup():
+    sim = Simulator()
+    bus = FCFSBus(sim, bandwidth=1e6, name="b")
+    dma = DMAEngine(sim, bus, setup_cost=0.5, burst_size=10**9)
+
+    def proc():
+        yield from dma.transfer(1e6)
+        return sim.now
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == pytest.approx(1.5)
+
+
+def test_dma_chunks_into_bursts():
+    sim = Simulator()
+    bus = FCFSBus(sim, bandwidth=1e6)
+    dma = DMAEngine(sim, bus, setup_cost=0.0, burst_size=1000)
+
+    def proc():
+        yield from dma.transfer(10_000)
+
+    sim.process(proc())
+    sim.run()
+    assert bus.stats.transfer_count == 10
+    assert bus.stats.bytes_transferred == pytest.approx(10_000)
+
+
+def test_dma_efficiency_improves_with_size():
+    """The 64 KiB receive threshold of Eq. (15) exists because DMA
+    efficiency is poor for small transfers."""
+    sim = Simulator()
+    bus = FCFSBus(sim, bandwidth=112e6)  # ~85% of PCI 132 MB/s
+    dma = DMAEngine(sim, bus, setup_cost=20e-6)
+    small = dma.efficiency(1024)
+    big = dma.efficiency(64 * 1024)
+    assert small < 0.35
+    assert big > 0.95
+    assert dma.efficiency(1024) < dma.efficiency(4096) < dma.efficiency(65536)
+
+
+def test_dma_statistics():
+    sim = Simulator()
+    bus = FCFSBus(sim, bandwidth=1e6)
+    dma = DMAEngine(sim, bus, setup_cost=0.0)
+
+    def proc():
+        yield from dma.transfer(5000)
+        yield from dma.transfer(3000)
+
+    sim.process(proc())
+    sim.run()
+    assert dma.transfers == 2
+    assert dma.bytes_moved == pytest.approx(8000)
+
+
+def test_dma_rejects_bad_args():
+    sim = Simulator()
+    bus = FCFSBus(sim, bandwidth=1e6)
+    with pytest.raises(DMAError):
+        DMAEngine(sim, bus, setup_cost=-1)
+    with pytest.raises(DMAError):
+        DMAEngine(sim, bus, burst_size=0)
+    dma = DMAEngine(sim, bus)
+    with pytest.raises(DMAError):
+        list(dma.transfer(0))
+
+
+def test_pci_rates_ordering():
+    sim = Simulator()
+    b32 = pci_32_33(sim)
+    b64 = pci_64_66(sim)
+    bx = pcix_133(sim)
+    assert b32.bandwidth < b64.bandwidth < bx.bandwidth
+    # 85% derating of the 132 MB/s raw rate.
+    assert b32.bandwidth == pytest.approx(132e6 * 0.85)
+
+
+def test_card_local_bus_is_serialized():
+    """Section 5: all ACEII traffic shares one FCFS bus."""
+    sim = Simulator()
+    bus = card_local_bus(sim)
+    assert isinstance(bus, FCFSBus)
+    assert bus.bandwidth == pytest.approx(132e6)
+
+
+def test_system_pci_default_is_fair_share():
+    sim = Simulator()
+    assert isinstance(pci_32_33(sim), FairShareBus)
+    assert isinstance(pci_32_33(sim, shared=True), FCFSBus)
+
+
+def test_pci_invalid_efficiency():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        pci_32_33(sim, efficiency=0.0)
+    with pytest.raises(ValueError):
+        pci_32_33(sim, efficiency=1.5)

@@ -1,0 +1,105 @@
+"""Unit tests for the memory-hierarchy model (repro.hw.memory)."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.hw import AccessPattern, CacheLevel, MemoryHierarchy
+
+
+def athlon_like():
+    return MemoryHierarchy(
+        [
+            CacheLevel("L1", 64 * 1024, 8e9, 4e9, 1e-9),
+            CacheLevel("L2", 256 * 1024, 3e9, 1.5e9, 10e-9),
+            CacheLevel("DRAM", float("inf"), 0.6e9, 0.12e9, 120e-9),
+        ]
+    )
+
+
+def test_level_for_picks_smallest_containing_level():
+    mh = athlon_like()
+    assert mh.level_for(10_000).name == "L1"
+    assert mh.level_for(100_000).name == "L2"
+    assert mh.level_for(10_000_000).name == "DRAM"
+
+
+def test_bandwidth_within_level_is_flat():
+    mh = athlon_like()
+    assert mh.effective_bandwidth(1_000) == mh.effective_bandwidth(60_000)
+
+
+def test_bandwidth_monotone_nonincreasing_in_working_set():
+    mh = athlon_like()
+    sizes = [2**k for k in range(8, 26)]
+    bws = [mh.effective_bandwidth(s) for s in sizes]
+    assert all(a >= b for a, b in zip(bws, bws[1:]))
+
+
+def test_transition_band_interpolates_continuously():
+    mh = athlon_like()
+    l1 = 64 * 1024
+    just_inside = mh.effective_bandwidth(l1)
+    just_outside = mh.effective_bandwidth(l1 + 1)
+    far_outside = mh.effective_bandwidth(int(l1 * 1.5))
+    assert just_inside >= just_outside > far_outside
+    # Continuity at the boundary: no big jump for +1 byte.
+    assert just_outside == pytest.approx(just_inside, rel=1e-3)
+    # At the end of the band we are at (or near) the next level's bandwidth.
+    assert far_outside == pytest.approx(3e9, rel=0.05)
+
+
+def test_random_pattern_slower_than_stream():
+    mh = athlon_like()
+    for ws in (1_000, 100_000, 10_000_000):
+        assert mh.effective_bandwidth(ws, AccessPattern.RANDOM) < mh.effective_bandwidth(
+            ws, AccessPattern.STREAM
+        )
+
+
+def test_touch_time_scales_with_bytes():
+    mh = athlon_like()
+    t1 = mh.touch_time(1_000_000, working_set=10_000_000)
+    t2 = mh.touch_time(2_000_000, working_set=10_000_000)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_touch_time_defaults_working_set_to_nbytes():
+    mh = athlon_like()
+    assert mh.touch_time(1_000) == pytest.approx(1_000 / 8e9)
+
+
+def test_increasing_capacity_enforced():
+    with pytest.raises(MemoryModelError):
+        MemoryHierarchy(
+            [
+                CacheLevel("L1", 64 * 1024, 8e9, 4e9),
+                CacheLevel("L2", 32 * 1024, 3e9, 1.5e9),
+                CacheLevel("DRAM", float("inf"), 0.6e9, 0.12e9),
+            ]
+        )
+
+
+def test_last_level_must_be_infinite():
+    with pytest.raises(MemoryModelError):
+        MemoryHierarchy([CacheLevel("L1", 64 * 1024, 8e9, 4e9)])
+
+
+def test_invalid_level_parameters():
+    with pytest.raises(MemoryModelError):
+        CacheLevel("L1", 0, 8e9, 4e9)
+    with pytest.raises(MemoryModelError):
+        CacheLevel("L1", 1024, 0, 4e9)
+    with pytest.raises(MemoryModelError):
+        CacheLevel("L1", 1024, 8e9, 4e9, latency=-1)
+
+
+def test_negative_working_set_rejected():
+    mh = athlon_like()
+    with pytest.raises(MemoryModelError):
+        mh.effective_bandwidth(-1)
+
+
+def test_unknown_pattern_rejected():
+    mh = athlon_like()
+    with pytest.raises(MemoryModelError):
+        mh.effective_bandwidth(100, "backwards")

@@ -1,0 +1,134 @@
+"""Tests for the INIC protocol's flow control (credits/windows).
+
+Section 4.1's no-loss invariant: "the total amount of data put into the
+network never exceeds the total size of the network buffers", enforced
+with "minimal acknowledgement information" (tiny credit frames).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.collective import inic_allreduce
+from repro.core import build_acc
+from repro.errors import ApplicationError, OffloadError
+from repro.inic import SendBlock
+from repro.net import MacAddress
+from repro.protocols import TransferPlan
+
+
+def test_incast_does_not_drop_with_windows():
+    """P-1 cards all sending to rank 0 simultaneously must not overrun
+    the root's 128 KiB switch port buffer."""
+    p = 8
+    cluster, manager = build_acc(p)
+    contribs = [np.full(32768, float(r)) for r in range(p)]
+    out, _ = inic_allreduce(cluster, manager, contribs)
+    assert cluster.switch.total_dropped() == 0
+    assert np.allclose(out, sum(range(p)))
+
+
+def test_allreduce_matches_numpy_all_ops():
+    p = 4
+    rng = np.random.default_rng(0)
+    contribs = [rng.standard_normal(256) for _ in range(p)]
+    for op, fn in (("sum", np.sum), ("max", np.max), ("min", np.min)):
+        cluster, manager = build_acc(p)
+        out, _ = inic_allreduce(cluster, manager, contribs, op=op)
+        if op == "sum":
+            expected = np.sum(contribs, axis=0)
+        elif op == "max":
+            expected = np.maximum.reduce(contribs)
+        else:
+            expected = np.minimum.reduce(contribs)
+        assert np.allclose(out, expected), op
+
+
+def test_allreduce_single_node():
+    cluster, manager = build_acc(1)
+    data = np.arange(64, dtype=np.float64)
+    out, _ = inic_allreduce(cluster, manager, [data])
+    assert np.array_equal(out, data)
+
+
+def test_allreduce_validates_contributions():
+    cluster, manager = build_acc(2)
+    with pytest.raises(ApplicationError):
+        inic_allreduce(cluster, manager, [np.zeros(4)])
+    with pytest.raises(ApplicationError):
+        inic_allreduce(cluster, manager, [np.zeros(4), np.zeros(8)])
+
+
+def test_credits_bound_outstanding_bytes():
+    """The sender's per-destination outstanding bytes never exceed the
+    window."""
+    cluster, manager = build_acc(2)
+    from repro.core import protocol_processor_design
+
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+    card0 = manager.driver(0).card
+    window = 16 * 1024
+    peak = []
+
+    def sender():
+        op = card0.post_scatter(
+            1, [SendBlock(MacAddress(1), 512 * 1024)], window_bytes=window
+        )
+        while not op.sent.processed:
+            peak.append(max(card0._outstanding.values() or [0.0]))
+            yield sim.timeout(1e-4)
+
+    def receiver():
+        plan = TransferPlan(sim, {0: 512 * 1024})
+        op = manager.driver(1).card.post_gather(1, plan)
+        yield op.done
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert max(peak) <= window
+
+
+def test_stall_guard_fails_loudly_on_lost_data():
+    """A gather whose data never arrives fails with OffloadError rather
+    than hanging the simulation."""
+    cluster, manager = build_acc(2)
+    from repro.core import protocol_processor_design
+
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+    plan = TransferPlan(sim, {0: 10_000})  # nobody will send this
+    op = manager.driver(1).card.post_gather(9, plan)
+
+    def waiter():
+        yield op.done
+
+    p = sim.process(waiter())
+    with pytest.raises(OffloadError, match="stalled"):
+        sim.run(until=p, max_events=10_000_000)
+
+
+def test_point_to_point_rate_not_throttled_by_window():
+    """The default window must not cost ideal-INIC streaming rate."""
+    from repro.core import protocol_processor_design
+    from repro.units import MiB
+
+    cluster, manager = build_acc(2)
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+    nbytes = 8 * MiB
+    t = {}
+
+    def sender():
+        yield from manager.driver(0).send_message(MacAddress(1), nbytes)
+
+    def receiver():
+        t0 = sim.now
+        yield from manager.driver(1).recv_message(MacAddress(0), nbytes)
+        t["dt"] = sim.now - t0
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    rate = nbytes / t["dt"]
+    assert rate > 70 * MiB  # close to the 80 MiB/s host-path bound

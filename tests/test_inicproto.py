@@ -1,0 +1,149 @@
+"""Tests for the INIC protocol policy layer (inicproto) and card memory."""
+
+import pytest
+
+from repro.errors import INICError, ProtocolError
+from repro.inic import INICMemory
+from repro.net import MacAddress
+from repro.protocols import CreditGate, INICProtoConfig, TransferPlan
+from repro.sim import Simulator
+
+
+# --- INICProtoConfig ------------------------------------------------------------
+def test_default_packet_size_is_papers_1024():
+    cfg = INICProtoConfig()
+    assert cfg.packet_size == 1024
+    assert cfg.headers < 40  # minimal vs TCP/IP's 40
+
+
+def test_invalid_proto_config():
+    with pytest.raises(ProtocolError):
+        INICProtoConfig(packet_size=0)
+    with pytest.raises(ProtocolError):
+        INICProtoConfig(headers=-1)
+
+
+# --- TransferPlan ------------------------------------------------------------------
+def test_plan_completes_when_all_received():
+    sim = Simulator()
+    plan = TransferPlan(sim, {0: 100, 1: 50})
+    assert not plan.complete.triggered
+    plan.account(MacAddress(0), 100)
+    assert not plan.complete.triggered
+    plan.account(MacAddress(1), 30)
+    plan.account(MacAddress(1), 20)
+    assert plan.complete.triggered
+    assert plan.total_received() == 150
+
+
+def test_plan_partial_accounting():
+    sim = Simulator()
+    plan = TransferPlan(sim, {3: 1000})
+    plan.account(MacAddress(3), 400)
+    assert plan.received[3] == 400
+    assert plan.total_expected() == 1000
+
+
+def test_plan_rejects_unknown_sender():
+    sim = Simulator()
+    plan = TransferPlan(sim, {0: 10})
+    with pytest.raises(ProtocolError):
+        plan.account(MacAddress(5), 10)
+
+
+def test_plan_rejects_overflow():
+    sim = Simulator()
+    plan = TransferPlan(sim, {0: 10})
+    with pytest.raises(ProtocolError):
+        plan.account(MacAddress(0), 11)
+
+
+def test_empty_plan_completes_immediately():
+    sim = Simulator()
+    plan = TransferPlan(sim, {})
+    assert plan.complete.triggered
+
+
+def test_plan_rejects_negative_expectation():
+    sim = Simulator()
+    with pytest.raises(ProtocolError):
+        TransferPlan(sim, {0: -5})
+
+
+# --- CreditGate ------------------------------------------------------------------------
+def test_credit_gate_blocks_then_returns():
+    sim = Simulator()
+    gate = CreditGate(sim, budget_bytes=100.0, drain_rate=100.0)
+    times = []
+
+    def proc():
+        yield from gate.acquire(80.0)
+        times.append(sim.now)
+        yield from gate.acquire(80.0)  # must wait for first to drain
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times[0] == pytest.approx(0.0)
+    # 80 bytes drain at 100 B/s -> credits back at t=0.8.
+    assert times[1] == pytest.approx(0.8)
+
+
+def test_credit_gate_validation():
+    sim = Simulator()
+    with pytest.raises(ProtocolError):
+        CreditGate(sim, budget_bytes=0, drain_rate=1)
+    gate = CreditGate(sim, budget_bytes=10, drain_rate=1)
+    with pytest.raises(ProtocolError):
+        list(gate.acquire(0))
+
+
+# --- INICMemory ----------------------------------------------------------------------------
+def test_memory_allocate_release():
+    sim = Simulator()
+    mem = INICMemory(sim, capacity=1000, bandwidth=1e6)
+
+    def proc():
+        yield from mem.allocate(600)
+        assert mem.free_bytes == pytest.approx(400)
+        mem.release(600)
+
+    sim.process(proc())
+    sim.run()
+    assert mem.free_bytes == pytest.approx(1000)
+
+
+def test_memory_allocate_blocks_until_release():
+    sim = Simulator()
+    mem = INICMemory(sim, capacity=100, bandwidth=1e6)
+    order = []
+
+    def hog():
+        yield from mem.allocate(80)
+        order.append(("hog", sim.now))
+        yield sim.timeout(5.0)
+        mem.release(80)
+
+    def waiter():
+        yield from mem.allocate(50)
+        order.append(("waiter", sim.now))
+
+    sim.process(hog())
+    sim.process(waiter())
+    sim.run()
+    assert order == [("hog", 0.0), ("waiter", 5.0)]
+
+
+def test_memory_oversized_allocation_rejected():
+    sim = Simulator()
+    mem = INICMemory(sim, capacity=100, bandwidth=1e6)
+    with pytest.raises(INICError):
+        list(mem.allocate(101))
+
+
+def test_memory_touch_time():
+    sim = Simulator()
+    mem = INICMemory(sim, capacity=100, bandwidth=200.0)
+    assert mem.touch_time(100) == pytest.approx(0.5)
+    with pytest.raises(INICError):
+        mem.touch_time(-1)

@@ -1,0 +1,172 @@
+"""Unit tests for the switch and the star-fabric builder."""
+
+import pytest
+
+from repro.errors import NetworkError, SwitchError
+from repro.net import (
+    BROADCAST,
+    FAST_ETHERNET,
+    Frame,
+    GIGABIT_ETHERNET,
+    MacAddress,
+    Switch,
+    Wire,
+    build_star,
+)
+from repro.sim import Simulator
+
+
+class Station:
+    """Minimal FrameDevice for fabric tests."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.wire = None
+        self.got = []
+
+    def attach_wire(self, wire):
+        self.wire = wire
+
+    def receive_frame(self, frame):
+        self.got.append((frame, self.sim.now))
+
+    def send(self, frame):
+        self.wire.send(frame)
+
+
+def make_fabric(sim, n=3, tech=GIGABIT_ETHERNET):
+    stations = [Station(sim) for _ in range(n)]
+    addrs = [MacAddress(i) for i in range(n)]
+    switch = build_star(sim, list(zip(addrs, stations)), tech=tech)
+    return stations, addrs, switch
+
+
+def test_unicast_reaches_only_destination():
+    sim = Simulator()
+    stations, addrs, _ = make_fabric(sim)
+    stations[0].send(Frame(addrs[0], addrs[2], payload_bytes=1000))
+    sim.run()
+    assert len(stations[2].got) == 1
+    assert stations[1].got == []
+    assert stations[0].got == []
+
+
+def test_store_and_forward_latency():
+    sim = Simulator()
+    stations, addrs, _ = make_fabric(sim)
+    f = Frame(addrs[0], addrs[1], payload_bytes=1500, headers=40)
+    stations[0].send(f)
+    sim.run()
+    t = stations[1].got[0][1]
+    bw = GIGABIT_ETHERNET.bandwidth
+    expected = (
+        f.wire_size / bw  # uplink serialization
+        + GIGABIT_ETHERNET.propagation_delay
+        + GIGABIT_ETHERNET.switch_latency
+        + f.wire_size / bw  # downlink serialization
+        + GIGABIT_ETHERNET.propagation_delay
+    )
+    assert t == pytest.approx(expected, rel=1e-9)
+
+
+def test_broadcast_fans_out_to_all_but_sender():
+    sim = Simulator()
+    stations, addrs, _ = make_fabric(sim, n=4)
+    stations[1].send(Frame(addrs[1], BROADCAST, payload_bytes=100))
+    sim.run()
+    assert len(stations[0].got) == 1
+    assert len(stations[2].got) == 1
+    assert len(stations[3].got) == 1
+    assert stations[1].got == []
+
+
+def test_two_senders_one_destination_serialize_on_output_port():
+    sim = Simulator()
+    stations, addrs, _ = make_fabric(sim)
+    f1 = Frame(addrs[0], addrs[2], payload_bytes=1462, headers=0)  # 1500 wire
+    f2 = Frame(addrs[1], addrs[2], payload_bytes=1462, headers=0)
+    stations[0].send(f1)
+    stations[1].send(f2)
+    sim.run()
+    t1, t2 = (t for _, t in stations[2].got)
+    # Second frame waits for the first to finish the shared downlink.
+    assert t2 - t1 == pytest.approx(1500 / GIGABIT_ETHERNET.bandwidth, rel=1e-6)
+
+
+def test_switch_drops_when_output_buffer_full():
+    sim = Simulator()
+    switch = Switch(sim, n_ports=2, buffer_bytes_per_port=3000, forwarding_latency=0.0)
+    a, b = MacAddress(0), MacAddress(1)
+    dst = Station(sim)
+    down = Wire(sim, bandwidth=1000.0)  # slow drain: 1.5s/frame
+    down.attach(dst)
+    switch.attach_output(1, down)
+    switch.learn(b, 1)
+    for _ in range(5):
+        switch._ingress(Frame(a, b, payload_bytes=1462, headers=0), in_port=0)
+    sim.run()
+    stats = switch.port_stats(1)
+    assert stats.frames_dropped == 3
+    assert stats.frames_forwarded == 2
+    assert len(dst.got) == 2
+
+
+def test_no_drops_within_buffer_budget():
+    """Section 4.1: no loss while in-flight data fits the buffers."""
+    sim = Simulator()
+    stations, addrs, switch = make_fabric(sim, n=4)
+    # 3 senders put ~114 KiB total at station 3; the GigE per-port buffer
+    # is 128 KiB, so nothing may drop.
+    for s in range(3):
+        for k in range(25):
+            stations[s].send(Frame(addrs[s], addrs[3], payload_bytes=1500))
+    sim.run()
+    assert switch.total_dropped() == 0
+    assert len(stations[3].got) == 3 * 25
+
+
+def test_fast_ethernet_is_ten_times_slower():
+    sim = Simulator()
+    stations, addrs, _ = make_fabric(sim, tech=FAST_ETHERNET)
+    f = Frame(addrs[0], addrs[1], payload_bytes=1500)
+    stations[0].send(f)
+    sim.run()
+    t_fe = stations[1].got[0][1]
+
+    sim2 = Simulator()
+    stations2, addrs2, _ = make_fabric(sim2, tech=GIGABIT_ETHERNET)
+    stations2[0].send(Frame(addrs2[0], addrs2[1], payload_bytes=1500))
+    sim2.run()
+    t_ge = stations2[1].got[0][1]
+    assert t_fe > 5 * t_ge
+
+
+def test_unknown_destination_raises():
+    sim = Simulator()
+    switch = Switch(sim, n_ports=1, forwarding_latency=0.0)
+    with pytest.raises(SwitchError):
+        switch._ingress(Frame(MacAddress(0), MacAddress(9), payload_bytes=10), 0)
+
+
+def test_duplicate_addresses_rejected():
+    sim = Simulator()
+    s1, s2 = Station(sim), Station(sim)
+    with pytest.raises(NetworkError):
+        build_star(sim, [(MacAddress(0), s1), (MacAddress(0), s2)])
+
+
+def test_empty_fabric_rejected():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        build_star(sim, [])
+
+
+def test_switch_invalid_config():
+    sim = Simulator()
+    with pytest.raises(SwitchError):
+        Switch(sim, n_ports=0)
+    with pytest.raises(SwitchError):
+        Switch(sim, n_ports=2, buffer_bytes_per_port=0)
+    sw = Switch(sim, n_ports=2)
+    with pytest.raises(SwitchError):
+        sw.learn(MacAddress(0), 5)

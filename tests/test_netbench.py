@@ -1,0 +1,63 @@
+"""Tests for the network microbenchmarks (repro.apps.netbench)."""
+
+import pytest
+
+from repro.apps.netbench import (
+    NetBenchResult,
+    inic_pingpong,
+    inic_stream,
+    tcp_pingpong,
+    tcp_stream,
+)
+from repro.errors import ApplicationError
+from repro.net import FAST_ETHERNET, GIGABIT_ETHERNET
+from repro.units import MiB
+
+
+def test_result_derived_metrics():
+    r = NetBenchResult("x", nbytes=1000, repetitions=10, total_time=2.0)
+    assert r.latency == pytest.approx(0.1)
+    assert r.bandwidth == pytest.approx(5000.0)
+
+
+def test_inic_latency_beats_tcp():
+    """Section 2: a protocol-processor INIC offers 'lower latency than
+    current commodity network subsystems'."""
+    tcp = tcp_pingpong(nbytes=64, repetitions=10)
+    inic = inic_pingpong(nbytes=64, repetitions=10)
+    assert inic.latency < 0.5 * tcp.latency
+
+
+def test_inic_bandwidth_at_least_tcp():
+    tcp = tcp_stream(nbytes=1 << 20, repetitions=3)
+    inic = inic_stream(nbytes=1 << 20, repetitions=3)
+    assert inic.bandwidth > tcp.bandwidth
+
+
+def test_stream_bandwidths_in_sane_ranges():
+    tcp = tcp_stream(nbytes=2 << 20, repetitions=2)
+    # Below line rate, above a quarter of it (PCI + stack overheads).
+    assert 0.25 * 125e6 < tcp.bandwidth < 125e6
+    inic = inic_stream(nbytes=2 << 20, repetitions=2)
+    # Host path 80 MiB/s is the INIC's bottleneck stage.
+    assert inic.bandwidth == pytest.approx(80 * MiB, rel=0.2)
+
+
+def test_fast_ethernet_pingpong_slower_stream_much_slower():
+    fe_stream = tcp_stream(nbytes=1 << 20, repetitions=2, network=FAST_ETHERNET)
+    ge_stream = tcp_stream(nbytes=1 << 20, repetitions=2, network=GIGABIT_ETHERNET)
+    assert fe_stream.bandwidth < 0.2 * ge_stream.bandwidth
+    assert fe_stream.bandwidth < 12.5e6  # under FE line rate
+
+
+def test_latency_grows_with_message_size():
+    small = tcp_pingpong(nbytes=64, repetitions=5)
+    big = tcp_pingpong(nbytes=32 * 1024, repetitions=5)
+    assert big.latency > small.latency
+
+
+def test_validation():
+    with pytest.raises(ApplicationError):
+        tcp_pingpong(nbytes=0)
+    with pytest.raises(ApplicationError):
+        inic_stream(repetitions=0)

@@ -1,0 +1,171 @@
+"""Edge-case tests for the DES kernel: priorities, failures, interrupts
+interacting with resources and stores."""
+
+import pytest
+
+from repro.errors import Interrupt, ProcessError
+from repro.sim import (
+    AllOf,
+    NORMAL,
+    Resource,
+    Simulator,
+    Store,
+    URGENT,
+)
+
+
+def test_urgent_events_fire_before_normal_at_same_time():
+    sim = Simulator()
+    order = []
+
+    normal = sim.event("n")
+    urgent = sim.event("u")
+    normal.add_callback(lambda e: order.append("normal"))
+    urgent.add_callback(lambda e: order.append("urgent"))
+    normal.succeed(priority=NORMAL)
+    urgent.succeed(priority=URGENT)
+    sim.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_all_of_fails_fast_on_component_failure():
+    sim = Simulator()
+    caught = []
+
+    def failer(ev):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("part failed"))
+
+    def waiter(events):
+        try:
+            yield sim.all_of(events)
+        except RuntimeError as e:
+            caught.append((str(e), sim.now))
+
+    bad = sim.event()
+    slow = sim.timeout(100.0)
+    sim.process(failer(bad))
+    sim.process(waiter([bad, slow]))
+    sim.run(until=50.0)
+    assert caught == [("part failed", 1.0)]
+
+
+def test_interrupt_while_waiting_on_store():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer():
+        try:
+            yield store.get()
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+
+    def interrupter(p):
+        yield sim.timeout(2.0)
+        p.interrupt()
+
+    p = sim.process(consumer())
+    sim.process(interrupter(p))
+    sim.run()
+    assert log == [("interrupted", 2.0)]
+
+
+def test_interrupt_while_waiting_on_resource_leaves_queue_intact():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    got = []
+
+    def holder():
+        req = yield from res.acquire()
+        yield sim.timeout(10.0)
+        res.release(req)
+
+    def impatient():
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            res.release(req)  # cancel the queued claim
+            got.append("gave-up")
+
+    def patient():
+        yield sim.timeout(2.0)
+        req = yield from res.acquire()
+        got.append(("patient-in", sim.now))
+        res.release(req)
+
+    sim.process(holder())
+    p = sim.process(impatient())
+    sim.process(patient())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        p.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert "gave-up" in got
+    assert ("patient-in", 10.0) in got  # queue survived the cancellation
+
+
+def test_process_yielding_foreign_simulator_event_fails():
+    sim1, sim2 = Simulator(), Simulator()
+
+    def proc():
+        yield sim2.timeout(1.0)
+
+    p = sim1.process(proc())
+    with pytest.raises(ProcessError):
+        sim1.run(until=p)
+
+
+def test_nested_process_exception_propagates_to_parent():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("from child")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as e:
+            return f"caught {e}"
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == "caught from child"
+
+
+def test_condition_value_contains_fired_events():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(1.0, value="b")
+        result = yield sim.all_of([a, b])
+        return sorted(result.values())
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == ["a", "b"]
+
+
+def test_event_value_unavailable_until_triggered():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(AttributeError):
+        _ = ev.value
+
+
+def test_zero_delay_timeout_runs_this_instant_after_queue():
+    sim = Simulator()
+    order = []
+
+    def proc():
+        sim.schedule_callback(0.0, lambda: order.append("cb"))
+        yield sim.timeout(0.0)
+        order.append("proc")
+
+    sim.process(proc())
+    sim.run()
+    assert order == ["cb", "proc"]

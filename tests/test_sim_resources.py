@@ -1,0 +1,298 @@
+"""Unit tests for Resource/Store/Container (repro.sim.resources)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Resource, Simulator, Store
+
+
+# --- Resource -----------------------------------------------------------------
+def test_resource_mutex_serializes():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(tag, hold):
+        req = yield from res.acquire()
+        log.append((tag, "in", sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+        log.append((tag, "out", sim.now))
+
+    sim.process(user("a", 2.0))
+    sim.process(user("b", 1.0))
+    sim.run()
+    assert log == [
+        ("a", "in", 0.0),
+        ("a", "out", 2.0),
+        ("b", "in", 2.0),
+        ("b", "out", 3.0),
+    ]
+
+
+def test_resource_capacity_two_runs_pair_concurrently():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    finish = []
+
+    def user(tag):
+        req = yield from res.acquire()
+        yield sim.timeout(1.0)
+        res.release(req)
+        finish.append((tag, sim.now))
+
+    for tag in "abc":
+        sim.process(user(tag))
+    sim.run()
+    assert finish == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag, arrive):
+        yield sim.timeout(arrive)
+        req = yield from res.acquire()
+        order.append(tag)
+        yield sim.timeout(10.0)
+        res.release(req)
+
+    sim.process(user("first", 0.1))
+    sim.process(user("second", 0.2))
+    sim.process(user("third", 0.3))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_unknown_request_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    other = Resource(sim, capacity=1)
+    req = res.request()
+    with pytest.raises(SimulationError):
+        other.release(req)
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert r1.triggered and not r2.triggered
+    res.release(r2)  # cancel while queued
+    assert res.queue_length == 0
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_wait_time_stats():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        req = yield from res.acquire()
+        yield sim.timeout(5.0)
+        res.release(req)
+
+    def waiter():
+        yield sim.timeout(1.0)
+        req = yield from res.acquire()
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert res.total_requests == 2
+    assert res.total_wait_time == pytest.approx(4.0)
+
+
+# --- Store ---------------------------------------------------------------------
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(3.0)
+        yield store.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("x", 3.0)]
+
+
+def test_bounded_store_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")
+        log.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(2.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0.0) in log
+    assert ("got", "a", 2.0) in log
+    assert ("put-b", 2.0) in log
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    store.put("x")
+    sim.run()
+    ok, item = store.try_get()
+    assert ok and item == "x"
+
+
+def test_store_stats():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(5):
+        store.put(i)
+    sim.run()
+    assert store.total_puts == 5
+    assert store.max_occupancy == 5
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+# --- Container --------------------------------------------------------------------
+def test_container_get_blocks_until_level():
+    sim = Simulator()
+    tank = Container(sim, capacity=100.0, init=0.0)
+    log = []
+
+    def filler():
+        yield sim.timeout(1.0)
+        yield tank.put(30.0)
+        yield sim.timeout(1.0)
+        yield tank.put(30.0)
+
+    def drinker():
+        yield tank.get(50.0)
+        log.append(sim.now)
+
+    sim.process(filler())
+    sim.process(drinker())
+    sim.run()
+    assert log == [2.0]
+    assert tank.level == pytest.approx(10.0)
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=10.0)
+    log = []
+
+    def putter():
+        yield tank.put(5.0)
+        log.append(("put", sim.now))
+
+    def getter():
+        yield sim.timeout(2.0)
+        yield tank.get(7.0)
+        log.append(("got", sim.now))
+
+    sim.process(putter())
+    sim.process(getter())
+    sim.run()
+    assert log == [("got", 2.0), ("put", 2.0)]
+
+
+def test_container_no_overtaking():
+    sim = Simulator()
+    tank = Container(sim, capacity=100.0, init=5.0)
+    order = []
+
+    def big():
+        yield tank.get(50.0)
+        order.append("big")
+
+    def small():
+        yield sim.timeout(0.1)
+        yield tank.get(1.0)
+        order.append("small")
+
+    def filler():
+        yield sim.timeout(1.0)
+        yield tank.put(60.0)
+
+    sim.process(big())
+    sim.process(small())
+    sim.process(filler())
+    sim.run()
+    assert order == ["big", "small"]
+
+
+def test_container_try_get():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=5.0)
+    assert tank.try_get(3.0)
+    assert not tank.try_get(3.0)
+    assert tank.level == pytest.approx(2.0)
+
+
+def test_container_get_over_capacity_rejected():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0)
+    with pytest.raises(SimulationError):
+        tank.get(11.0)
+
+
+def test_container_level_extremes_tracked():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=5.0)
+    tank.put(5.0)
+    sim.run()
+    tank.get(8.0)
+    sim.run()
+    assert tank.max_level == pytest.approx(10.0)
+    assert tank.min_level == pytest.approx(2.0)

@@ -1,0 +1,185 @@
+"""Unit + property tests for the sort kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.sort import (
+    cache_bucket_count,
+    count_sort,
+    counting_pass,
+    digit_histogram,
+    gaussian_keys,
+    is_sorted,
+    phase1_destination_buckets,
+    phase2_cache_buckets,
+    quicksort,
+    split_by_bits,
+    split_keys,
+    uniform_keys,
+)
+from repro.errors import ApplicationError
+
+rng = np.random.default_rng(7)
+
+uint32_arrays = arrays(
+    dtype=np.uint32,
+    shape=st.integers(min_value=0, max_value=2000),
+    elements=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+# --- count sort ------------------------------------------------------------------------
+def test_count_sort_sorts():
+    keys = uniform_keys(50_000, rng)
+    out = count_sort(keys)
+    assert is_sorted(out)
+    assert np.array_equal(np.sort(keys), out)
+
+
+@settings(max_examples=50, deadline=None)
+@given(uint32_arrays)
+def test_count_sort_property(keys):
+    out = count_sort(keys)
+    assert is_sorted(out)
+    assert np.array_equal(np.sort(keys), out)
+
+
+def test_count_sort_duplicates_and_extremes():
+    keys = np.array([0, 2**32 - 1, 0, 2**32 - 1, 5, 5], dtype=np.uint32)
+    assert np.array_equal(count_sort(keys), np.sort(keys))
+
+
+def test_count_sort_rejects_wrong_dtype():
+    with pytest.raises(ApplicationError):
+        count_sort(np.zeros(4, dtype=np.int64))
+
+
+def test_counting_pass_is_stable_on_digit():
+    keys = np.array([0x0102, 0x0201, 0x0101, 0x0202], dtype=np.uint32)
+    out = counting_pass(keys, 0)  # sort by low byte only
+    assert list(out) == [0x0201, 0x0101, 0x0102, 0x0202]
+
+
+def test_digit_histogram_sums_to_n():
+    keys = uniform_keys(10_000, rng)
+    for shift in (0, 8, 16, 24):
+        h = digit_histogram(keys, shift)
+        assert h.sum() == 10_000
+        assert h.shape == (256,)
+
+
+# --- quicksort --------------------------------------------------------------------------
+def test_quicksort_sorts():
+    keys = uniform_keys(20_000, rng)
+    assert np.array_equal(quicksort(keys), np.sort(keys))
+
+
+@settings(max_examples=30, deadline=None)
+@given(uint32_arrays)
+def test_quicksort_property(keys):
+    assert np.array_equal(quicksort(keys), np.sort(keys))
+
+
+def test_quicksort_adversarial_inputs():
+    assert np.array_equal(quicksort(np.arange(1000, dtype=np.uint32)),
+                          np.arange(1000, dtype=np.uint32))
+    rev = np.arange(1000, dtype=np.uint32)[::-1]
+    assert is_sorted(quicksort(rev))
+    same = np.full(1000, 7, dtype=np.uint32)
+    assert np.array_equal(quicksort(same), same)
+
+
+def test_quicksort_requires_1d():
+    with pytest.raises(ApplicationError):
+        quicksort(np.zeros((2, 2)))
+
+
+# --- bucket kernels ------------------------------------------------------------------------
+def test_split_by_bits_partitions():
+    keys = uniform_keys(10_000, rng)
+    buckets = split_by_bits(keys, 0, 8)
+    assert sum(b.shape[0] for b in buckets) == 10_000
+    # Range ordering by top 3 bits.
+    for i, b in enumerate(buckets):
+        if b.size:
+            assert np.all((b >> 29) == i)
+
+
+def test_split_by_bits_uniformity():
+    keys = uniform_keys(100_000, rng)
+    buckets = split_by_bits(keys, 0, 16)
+    sizes = np.array([b.shape[0] for b in buckets])
+    assert sizes.std() < 0.1 * sizes.mean()  # uniform keys balance buckets
+
+
+@settings(max_examples=30, deadline=None)
+@given(uint32_arrays, st.sampled_from([2, 4, 8, 16]))
+def test_split_concat_is_stable_partition(keys, nb):
+    buckets = split_by_bits(keys, 0, nb)
+    cat = np.concatenate(buckets) if buckets else keys
+    assert np.array_equal(np.sort(cat), np.sort(keys))
+    # Stability within a bucket: relative order preserved.
+    for i, b in enumerate(buckets):
+        mask = (keys >> np.uint32(32 - (nb.bit_length() - 1))) == i if nb > 1 else None
+        if mask is not None:
+            assert np.array_equal(b, keys[mask])
+
+
+def test_phase1_then_phase2_nesting():
+    keys = uniform_keys(50_000, rng)
+    p = 4
+    dests = phase1_destination_buckets(keys, p)
+    for rank, bucket in enumerate(dests):
+        refined = phase2_cache_buckets(bucket, p, 8)
+        cat = np.concatenate(refined)
+        assert np.array_equal(np.sort(cat), np.sort(bucket))
+        # Concatenating sorted refined buckets must be globally ordered
+        # within the rank's key range.
+        pieces = [count_sort(r) for r in refined]
+        assert is_sorted(np.concatenate(pieces))
+
+
+def test_split_by_bits_validates():
+    keys = uniform_keys(16, rng)
+    with pytest.raises(ApplicationError):
+        split_by_bits(keys, 0, 3)
+    with pytest.raises(ApplicationError):
+        split_by_bits(keys, 30, 8)
+    with pytest.raises(ApplicationError):
+        split_by_bits(keys.astype(np.int32), 0, 4)
+
+
+def test_cache_bucket_count_rules():
+    # >= 2^21 keys: minimum 128 buckets (Section 3.2.1).
+    assert cache_bucket_count(2**21, 24 * 1024) >= 128
+    # Small inputs need few buckets.
+    assert cache_bucket_count(1000, 24 * 1024) == 1
+    # Power of two always.
+    n = cache_bucket_count(10**6, 24 * 1024)
+    assert n & (n - 1) == 0
+
+
+# --- key generation -----------------------------------------------------------------------
+def test_uniform_keys_range_and_dtype():
+    k = uniform_keys(10_000, rng)
+    assert k.dtype == np.uint32
+    # Rough uniformity: mean near 2^31.
+    assert abs(float(k.mean()) - 2**31) < 0.05 * 2**32
+
+
+def test_gaussian_keys_are_concentrated():
+    u = uniform_keys(50_000, rng)
+    g = gaussian_keys(50_000, rng)
+    assert g.std() < 0.7 * u.std()
+
+
+def test_split_keys_even():
+    k = uniform_keys(1000, rng)
+    shards = split_keys(k, 4)
+    assert [s.shape[0] for s in shards] == [250] * 4
+    assert np.array_equal(np.concatenate(shards), k)
+    with pytest.raises(ApplicationError):
+        split_keys(k, 3)

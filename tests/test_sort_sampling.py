@@ -1,0 +1,108 @@
+"""Tests for the sampling/splitter extension (skewed-key balance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sort import (
+    baseline_sort,
+    choose_splitters,
+    gaussian_keys,
+    imbalance,
+    is_sorted,
+    sample_local,
+    split_by_splitters,
+    uniform_keys,
+)
+from repro.cluster import Cluster, ClusterSpec
+from repro.errors import ApplicationError
+
+rng = np.random.default_rng(21)
+
+
+def test_sample_local_size_and_membership():
+    keys = uniform_keys(10_000, rng)
+    s = sample_local(keys, oversample=8, p=4, rng=rng)
+    assert s.shape[0] == 32
+    assert np.isin(s, keys).all()
+
+
+def test_sample_local_small_partition():
+    keys = uniform_keys(5, rng)
+    s = sample_local(keys, oversample=8, p=4, rng=rng)
+    assert s.shape[0] == 5  # capped at partition size
+
+
+def test_choose_splitters_count_and_order():
+    samples = uniform_keys(1000, rng)
+    sp = choose_splitters(samples, 8)
+    assert sp.shape[0] == 7
+    assert is_sorted(sp)
+
+
+def test_choose_splitters_p1_empty():
+    assert choose_splitters(uniform_keys(100, rng), 1).size == 0
+
+
+def test_choose_splitters_needs_enough_samples():
+    with pytest.raises(ApplicationError):
+        choose_splitters(np.array([1, 2], dtype=np.uint32), 8)
+
+
+def test_split_by_splitters_partition_properties():
+    keys = uniform_keys(10_000, rng)
+    sp = choose_splitters(keys, 8)
+    buckets = split_by_splitters(keys, sp)
+    assert len(buckets) == 8
+    cat = np.concatenate(buckets)
+    assert np.array_equal(np.sort(cat), np.sort(keys))
+    # Range ordering: every key in bucket b <= every key in bucket b+1.
+    for b in range(7):
+        if buckets[b].size and buckets[b + 1].size:
+            assert buckets[b].max() <= buckets[b + 1].min()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=16).filter(lambda p: p & (p - 1) == 0))
+def test_sampling_balances_gaussian_keys(p):
+    g = np.random.default_rng(p)
+    keys = gaussian_keys(20_000, g)
+    sp = choose_splitters(keys, p)  # oracle: sample = everything
+    buckets = split_by_splitters(keys, sp)
+    assert imbalance([b.shape[0] for b in buckets]) < 1.2
+
+
+def test_top_bits_badly_imbalanced_on_gaussian():
+    from repro.apps.sort import phase1_destination_buckets
+
+    keys = gaussian_keys(50_000, rng)
+    buckets = phase1_destination_buckets(keys, 8)
+    assert imbalance([b.shape[0] for b in buckets]) > 1.5
+
+
+def test_full_sampled_sort_correct_and_balanced():
+    keys = gaussian_keys(2**14, rng)
+    p = 4
+    cluster = Cluster.build(ClusterSpec(n_nodes=p))
+    parts, res = baseline_sort(cluster, keys, balance_sampling=True)
+    out = np.concatenate(parts)
+    assert is_sorted(out)
+    assert np.array_equal(np.sort(keys), out)
+    assert imbalance([x.shape[0] for x in parts]) < 1.3
+    assert "sort-sampling" in res.breakdown  # the pre-sort phase ran
+
+
+def test_sampled_sort_on_uniform_keys_still_correct():
+    keys = uniform_keys(2**13, rng)
+    cluster = Cluster.build(ClusterSpec(n_nodes=4))
+    parts, _ = baseline_sort(cluster, keys, balance_sampling=True)
+    out = np.concatenate(parts)
+    assert np.array_equal(np.sort(keys), out)
+
+
+def test_imbalance_metric():
+    assert imbalance([10, 10, 10]) == pytest.approx(1.0)
+    assert imbalance([30, 0, 0]) == pytest.approx(3.0)
+    with pytest.raises(ApplicationError):
+        imbalance([])

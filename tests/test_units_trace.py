@@ -1,0 +1,141 @@
+"""Tests for units helpers and the trace recorder."""
+
+import pytest
+
+from repro.sim import Simulator, TraceRecorder, merge_intervals
+from repro.units import (
+    KiB,
+    MiB,
+    bytes_to_kib,
+    fmt_bytes,
+    fmt_time,
+    gbps,
+    mb_per_s,
+    mbps,
+    mib_per_s,
+    seconds_to_ms,
+    transfer_time,
+)
+
+
+# --- units ---------------------------------------------------------------------
+def test_network_rate_conversions():
+    assert mbps(100) == 12.5e6
+    assert gbps(1) == 125e6
+
+
+def test_memory_rate_conversions():
+    assert mib_per_s(80) == 80 * 1024 * 1024
+    assert mb_per_s(132) == 132e6
+
+
+def test_size_constants():
+    assert MiB == 1024 * KiB == 1024 * 1024
+    assert bytes_to_kib(2048) == 2.0
+
+
+def test_transfer_time():
+    assert transfer_time(1000, 100) == 10.0
+    with pytest.raises(ValueError):
+        transfer_time(1000, 0)
+    with pytest.raises(ValueError):
+        transfer_time(-1, 100)
+
+
+def test_seconds_to_ms():
+    assert seconds_to_ms(0.25) == 250.0
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2048) == "2 KiB"
+    assert "MiB" in fmt_bytes(5 * MiB)
+
+
+def test_fmt_time():
+    assert fmt_time(0) == "0 s"
+    assert "ms" in fmt_time(0.005)
+    assert "us" in fmt_time(5e-6)
+    assert "ns" in fmt_time(5e-9)
+    assert fmt_time(2.5) == "2.5 s"
+
+
+# --- merge_intervals --------------------------------------------------------------
+def test_merge_intervals_disjoint():
+    assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+
+def test_merge_intervals_overlapping():
+    assert merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+
+def test_merge_intervals_touching():
+    assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+
+def test_merge_intervals_unsorted_input():
+    assert merge_intervals([(4, 5), (0, 3), (2, 4)]) == [(0, 5)]
+
+
+# --- TraceRecorder -------------------------------------------------------------------
+def test_span_open_close():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+
+    def proc():
+        h = tr.open("work", rank=1)
+        yield sim.timeout(2.0)
+        h.close()
+
+    sim.process(proc())
+    sim.run()
+    spans = tr.spans_named("work")
+    assert len(spans) == 1
+    assert spans[0].duration == pytest.approx(2.0)
+    assert spans[0].meta == {"rank": 1}
+
+
+def test_total_vs_wall_for_overlapping_spans():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    tr.record("comm", 0.0, 2.0)
+    tr.record("comm", 1.0, 3.0)
+    assert tr.total("comm") == pytest.approx(4.0)  # CPU-time view
+    assert tr.wall("comm") == pytest.approx(3.0)  # union view
+
+
+def test_breakdown_and_names():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    tr.record("a", 0, 1)
+    tr.record("b", 0, 5)
+    tr.record("a", 2, 3)
+    assert tr.names() == ["a", "b"]
+    bd = tr.breakdown()
+    assert bd["a"] == pytest.approx(2.0)
+    assert bd["b"] == pytest.approx(5.0)
+
+
+def test_counters():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    tr.add("packets", 5)
+    tr.add("packets")
+    assert tr.get("packets") == 6.0
+    assert tr.get("missing") == 0.0
+
+
+def test_invalid_span_rejected():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    with pytest.raises(ValueError):
+        tr.record("bad", 2.0, 1.0)
+
+
+def test_clear():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    tr.record("x", 0, 1)
+    tr.add("c")
+    tr.clear()
+    assert tr.spans == [] and tr.counters == {}

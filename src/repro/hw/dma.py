@@ -56,18 +56,28 @@ class DMAEngine:
     def transfer(self, nbytes: float):
         """Generator: move ``nbytes``; use as ``yield from dma.transfer(n)``.
 
-        Pays one setup cost, then streams the payload in bursts over the
-        bus.  Returns the byte count.
+        Pays one setup cost, then streams the payload over the bus.
+        Returns the byte count.
+
+        On a serialized (FCFS) bus the payload is broken into
+        ``burst_size`` transactions so independent traffic can
+        interleave between bursts.  On a fair-share bus the sharing is
+        modelled continuously by the bus itself, so bursting would only
+        multiply simulation events without changing any completion time
+        — the whole payload goes as one transfer.
         """
         if nbytes <= 0:
             raise DMAError(f"DMA transfer of {nbytes} bytes")
         if self.setup_cost > 0:
-            yield self.sim.timeout(self.setup_cost)
-        remaining = float(nbytes)
-        while remaining > 0:
-            burst = min(remaining, float(self.burst_size))
-            yield self.bus.transfer(burst)
-            remaining -= burst
+            yield self.sim.sleep(self.setup_cost)
+        if isinstance(self.bus, FairShareBus):
+            yield self.bus.transfer(float(nbytes))
+        else:
+            remaining = float(nbytes)
+            while remaining > 0:
+                burst = min(remaining, float(self.burst_size))
+                yield self.bus.transfer(burst)
+                remaining -= burst
         self.transfers += 1
         self.bytes_moved += nbytes
         return nbytes

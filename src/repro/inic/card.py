@@ -34,8 +34,9 @@ from ..errors import ConfigurationError, OffloadError
 from ..hw.cpu import CPU
 from ..hw.pci import DEFAULT_ARBITRATION
 from ..net.addresses import BROADCAST, MacAddress
+from ..net.batching import adaptive_quantum
 from ..net.link import Wire
-from ..net.packet import Frame
+from ..net.packet import Frame, wire_bytes
 from ..protocols.base import choose_quantum
 from ..protocols.inicproto import INICProtoConfig, TransferPlan
 from ..sim.bus import FCFSBus, FairShareBus
@@ -348,13 +349,20 @@ class INICCard:
 
     # -- send datapath ------------------------------------------------------------------
     def _chunks_of(self, nbytes: int, window: Optional[int] = None) -> list[int]:
-        pkt = self.spec.proto.packet_size
+        proto = self.spec.proto
+        pkt = proto.packet_size
         n_packets = -(-nbytes // pkt)
         q = choose_quantum(
             n_packets,
-            self.spec.proto.quantum_target_events,
-            self.spec.proto.max_quantum,
+            proto.quantum_target_events,
+            proto.max_quantum,
         )
+        # Adaptive batching: grow the quantum to the largest packet train
+        # whose serialization stays within the timing tolerance (the
+        # window/4 cap below still preserves the credit pipeline).  With
+        # batching disabled this falls back to the target-events quantum.
+        packet_time = wire_bytes(pkt, proto.headers) / self.spec.net_rate
+        q = max(q, adaptive_quantum(n_packets, packet_time, proto.batch))
         chunk = q * pkt
         if window is not None:
             # Keep several chunks in flight inside one window so the

@@ -1,6 +1,13 @@
 """Ethernet substrate: frames, wires, switch, NICs, topology."""
 
 from .addresses import BROADCAST, MacAddress
+from .batching import (
+    BatchPolicy,
+    DEFAULT_BATCH,
+    PER_FRAME,
+    WIRE_BATCH,
+    adaptive_quantum,
+)
 from .fabric import (
     FAST_ETHERNET,
     GIGABIT_ETHERNET,
@@ -21,6 +28,11 @@ from .switch import PortStats, Switch
 
 __all__ = [
     "BROADCAST",
+    "BatchPolicy",
+    "DEFAULT_BATCH",
+    "PER_FRAME",
+    "WIRE_BATCH",
+    "adaptive_quantum",
     "ETHERNET_MTU",
     "ETHERNET_OVERHEAD",
     "FAST_ETHERNET",

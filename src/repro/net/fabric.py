@@ -17,6 +17,7 @@ from ..errors import NetworkError
 from ..sim.engine import Simulator
 from ..units import gbps, mbps
 from .addresses import MacAddress
+from .batching import BatchPolicy, WIRE_BATCH
 from .link import Wire
 from .packet import Frame
 from .switch import Switch
@@ -68,11 +69,14 @@ def build_star(
     sim: Simulator,
     stations: Sequence[tuple[MacAddress, FrameDevice]],
     tech: NetworkTechnology = GIGABIT_ETHERNET,
+    batch: BatchPolicy = WIRE_BATCH,
     name: str = "fabric",
 ) -> Switch:
     """Wire ``stations`` to a new switch; returns the switch.
 
     Each station gets a dedicated full-duplex link at ``tech.bandwidth``.
+    ``batch`` sets the switch's frame-train coalescing policy (pass
+    ``PER_FRAME`` for per-frame fidelity runs).
     """
     if not stations:
         raise NetworkError("cannot build a fabric with no stations")
@@ -85,6 +89,7 @@ def build_star(
         n_ports=len(stations),
         buffer_bytes_per_port=tech.switch_buffer_per_port,
         forwarding_latency=tech.switch_latency,
+        batch=batch,
         name=f"{name}.switch",
     )
     for port, (addr, device) in enumerate(stations):

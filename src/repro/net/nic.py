@@ -27,6 +27,7 @@ from ..sim.bus import FCFSBus, FairShareBus
 from ..sim.engine import Simulator
 from ..sim.resources import Store
 from .addresses import MacAddress
+from .batching import BatchPolicy, WIRE_BATCH
 from .link import Wire
 from .packet import Frame
 
@@ -75,12 +76,14 @@ class StandardNIC:
         dma_setup_cost: float = 2e-6,
         irq_handler_cost: float = 8e-6,
         per_frame_handler_cost: float = 1.5e-6,
+        batch: BatchPolicy = WIRE_BATCH,
         name: str = "nic",
     ):
         self.sim = sim
         self.address = address
         self.cpu = cpu
         self.name = name
+        self.batch = batch
         self.stats = NICStats()
         self.irq_handler_cost = float(irq_handler_cost)
         self.per_frame_handler_cost = float(per_frame_handler_cost)
@@ -113,6 +116,15 @@ class StandardNIC:
         """Install the protocol-stack upcall for received frames."""
         self._on_receive = callback
 
+    @property
+    def wire_bandwidth(self) -> float:
+        """Bytes/s of the attached TX wire (0.0 before attachment).
+
+        Protocol stacks use this to convert a batching policy's timing
+        tolerance into a frames-per-event quantum.
+        """
+        return 0.0 if self._wire_out is None else self._wire_out.bandwidth
+
     # -- host-side API -------------------------------------------------------------
     def transmit(self, frame: Frame):
         """Generator: hand ``frame`` to the NIC (blocks if TX ring full).
@@ -128,10 +140,29 @@ class StandardNIC:
 
     # -- datapath processes -----------------------------------------------------------
     def _tx_loop(self):
+        ring = self._tx_ring
+        policy = self.batch
         while True:
-            frame: Frame = yield self._tx_ring.get()
+            frame: Frame = yield ring.get()
             if self._wire_out is None:
                 raise NetworkError(f"{self.name}: transmit with no wire attached")
+            # Coalesce a train of back-to-back continuation frames already
+            # sitting in the ring into one DMA + one wire transfer.  The
+            # tolerance budget bounds how far the train's head is delayed.
+            if policy.enabled and ring.items:
+                budget = policy.timing_tolerance * self._wire_out.bandwidth
+                extra = 0.0
+                while ring.items:
+                    nxt = ring.items[0]
+                    if (
+                        extra + nxt.wire_size > budget
+                        or frame.frame_count + nxt.frame_count > policy.max_quantum
+                        or not frame.can_coalesce(nxt)
+                    ):
+                        break
+                    ring.try_get()
+                    extra += nxt.wire_size
+                    frame = frame.coalesced(nxt)
             # Payload crosses the host PCI bus by DMA before hitting the wire.
             if frame.payload_bytes > 0:
                 yield from self._tx_dma.transfer(frame.payload_bytes)

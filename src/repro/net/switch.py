@@ -9,7 +9,20 @@ statistics the tests use to verify that claim for the INIC protocol —
 and to produce losses for mis-tuned configurations.
 
 Each output port: a byte-accounted FIFO drained at line rate onto the
-attached wire.  Frames are forwarded after a fixed lookup latency.
+attached wire.  Frames become eligible for transmission a fixed lookup
+latency after ingress.
+
+Hot path
+--------
+Ports are event-driven state machines, not generator processes: a frame
+through an idle port costs two pooled timed callbacks (transmit start at
+lookup-latency, transmit done at serialization end) plus the wire's
+delivery — no process spawn per busy period and no separate
+forwarding-latency event.  While draining, the port also **coalesces
+frame trains**: consecutive queued frames of the same message stream are
+merged into one ``frame_count``-weighted frame within the switch's
+:class:`~repro.net.batching.BatchPolicy` timing tolerance, so a backlog
+of back-to-back MTU frames costs O(trains) events instead of O(frames).
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ from typing import Optional
 from ..errors import SwitchError
 from ..sim.engine import Simulator
 from .addresses import MacAddress
+from .batching import BatchPolicy, WIRE_BATCH
 from .link import Wire
 from .packet import Frame
 
@@ -51,46 +65,81 @@ class _PortIngress:
 
 
 class _OutputPort:
-    """One output port: byte-bounded FIFO + drain process."""
+    """One output port: byte-bounded FIFO + event-driven drain."""
+
+    __slots__ = ("switch", "index", "wire", "queue", "queued_bytes", "stats", "_busy")
 
     def __init__(self, switch: "Switch", index: int):
         self.switch = switch
         self.index = index
         self.wire: Optional[Wire] = None
-        self.queue: deque[Frame] = deque()
+        #: (frame, ready_time) — ready_time is ingress + lookup latency
+        self.queue: deque[tuple[Frame, float]] = deque()
         self.queued_bytes = 0.0
         self.stats = PortStats()
-        self._draining = False
+        self._busy = False
 
-    def enqueue(self, frame: Frame) -> None:
+    def enqueue(self, frame: Frame, ready_time: float) -> None:
         sw = self.switch
         if self.queued_bytes + frame.wire_size > sw.buffer_bytes_per_port:
             self.stats.frames_dropped += frame.frame_count
             self.stats.bytes_dropped += frame.wire_size
             return
-        self.queue.append(frame)
+        self.queue.append((frame, ready_time))
         self.queued_bytes += frame.wire_size
-        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self.queued_bytes)
-        if not self._draining:
-            self._draining = True
-            sw.sim.process(self._drain(), name=f"{sw.name}.p{self.index}.drain")
+        if self.queued_bytes > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = self.queued_bytes
+        if not self._busy:
+            self._busy = True
+            self._arm(ready_time)
 
-    def _drain(self):
+    def _arm(self, ready_time: float) -> None:
         sim = self.switch.sim
-        while self.queue:
-            frame = self.queue.popleft()
-            if self.wire is None:
-                raise SwitchError(
-                    f"switch port {self.index} has no wire attached"
-                )
-            tx_time = frame.wire_size / self.wire.bandwidth
-            self.wire.send(frame)
-            yield sim.timeout(tx_time)
-            # Buffer space is freed once the frame has left the port.
-            self.queued_bytes -= frame.wire_size
-            self.stats.frames_forwarded += frame.frame_count
-            self.stats.bytes_forwarded += frame.wire_size
-        self._draining = False
+        delay = ready_time - sim.now
+        if delay > 0:
+            sim.call_after(delay, self._start_tx)
+        else:
+            self._start_tx()
+
+    def _start_tx(self) -> None:
+        sim = self.switch.sim
+        if self.wire is None:
+            raise SwitchError(f"switch port {self.index} has no wire attached")
+        frame, _ready = self.queue.popleft()
+        # Byte-accounting must free exactly what enqueue charged, which can
+        # exceed the coalesced frame's wire size when a padded runt merges
+        # into a train.
+        acct_bytes = frame.wire_size
+        policy = self.switch.batch
+        if policy.enabled and self.queue:
+            budget = policy.timing_tolerance * self.wire.bandwidth
+            extra = 0.0
+            while self.queue:
+                nxt, nxt_ready = self.queue[0]
+                if (
+                    nxt_ready > sim.now
+                    or extra + nxt.wire_size > budget
+                    or frame.frame_count + nxt.frame_count > policy.max_quantum
+                    or not frame.can_coalesce(nxt)
+                ):
+                    break
+                self.queue.popleft()
+                extra += nxt.wire_size
+                acct_bytes += nxt.wire_size
+                frame = frame.coalesced(nxt)
+        tx_time = frame.wire_size / self.wire.bandwidth
+        self.wire.send(frame)
+        sim.call_after(tx_time, self._tx_done, acct_bytes, frame.frame_count)
+
+    def _tx_done(self, acct_bytes: float, frame_count: int) -> None:
+        # Buffer space is freed once the frame has left the port.
+        self.queued_bytes -= acct_bytes
+        self.stats.frames_forwarded += frame_count
+        self.stats.bytes_forwarded += acct_bytes
+        if self.queue:
+            self._arm(self.queue[0][1])
+        else:
+            self._busy = False
 
 
 class Switch:
@@ -102,6 +151,7 @@ class Switch:
         n_ports: int,
         buffer_bytes_per_port: float = 512 * 1024,
         forwarding_latency: float = 4e-6,
+        batch: BatchPolicy = WIRE_BATCH,
         name: str = "switch",
     ):
         if n_ports < 1:
@@ -115,6 +165,7 @@ class Switch:
         self.n_ports = n_ports
         self.buffer_bytes_per_port = float(buffer_bytes_per_port)
         self.forwarding_latency = float(forwarding_latency)
+        self.batch = batch
         self._outputs = [_OutputPort(self, i) for i in range(n_ports)]
         self._table: dict[MacAddress, int] = {}
 
@@ -142,23 +193,19 @@ class Switch:
 
     # -- data path ---------------------------------------------------------------
     def _ingress(self, frame: Frame, in_port: int) -> None:
-        def _forward() -> None:
-            if frame.dst.is_broadcast:
-                for port, out in enumerate(self._outputs):
-                    if port != in_port and out.wire is not None:
-                        out.enqueue(frame.clone_for(frame.dst))
-                return
-            port = self._table.get(frame.dst)
-            if port is None:
-                raise SwitchError(f"no forwarding entry for {frame.dst}")
-            self._outputs[port].enqueue(frame)
-
-        if self.forwarding_latency > 0:
-            self.sim.schedule_callback(
-                self.forwarding_latency, _forward, name=f"{self.name}.fwd"
-            )
-        else:
-            _forward()
+        # The lookup latency is folded into per-frame readiness instead of
+        # a separate scheduled callback: the frame queues now and becomes
+        # eligible to transmit ``forwarding_latency`` later.
+        ready = self.sim.now + self.forwarding_latency
+        if frame.dst.is_broadcast:
+            for port, out in enumerate(self._outputs):
+                if port != in_port and out.wire is not None:
+                    out.enqueue(frame.clone_for(frame.dst), ready)
+            return
+        port = self._table.get(frame.dst)
+        if port is None:
+            raise SwitchError(f"no forwarding entry for {frame.dst}")
+        self._outputs[port].enqueue(frame, ready)
 
     # -- statistics ---------------------------------------------------------------
     def port_stats(self, port: int) -> PortStats:

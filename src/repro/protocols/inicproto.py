@@ -28,11 +28,12 @@ The data movement itself is done by the INIC card
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ProtocolError
 from ..net.addresses import MacAddress
+from ..net.batching import BatchPolicy, DEFAULT_BATCH
 from ..sim.engine import Event, Simulator
 from ..sim.resources import Container
 
@@ -47,6 +48,10 @@ class INICProtoConfig:
     headers: int = 8  # built directly on Ethernet; minimal header
     quantum_target_events: int = 48
     max_quantum: int = 64
+    #: adaptive packet-train batching: the card's chunk quantum grows to
+    #: the largest train whose serialization fits the policy's timing
+    #: tolerance (the flow window still caps each chunk at window/4).
+    batch: BatchPolicy = field(default_factory=lambda: DEFAULT_BATCH)
 
     def __post_init__(self) -> None:
         if self.packet_size < 1 or self.headers < 0:

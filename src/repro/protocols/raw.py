@@ -27,8 +27,9 @@ from typing import Any, Optional
 from ..errors import ProtocolError
 from ..hw.cpu import CPU
 from ..net.addresses import MacAddress
+from ..net.batching import BatchPolicy, DEFAULT_BATCH, adaptive_quantum
 from ..net.nic import StandardNIC
-from ..net.packet import ETHERNET_MTU, Frame
+from ..net.packet import ETHERNET_MTU, Frame, wire_bytes
 from ..sim.engine import Event, Simulator
 from .base import Mailbox, MessageView, choose_quantum, next_message_id
 
@@ -45,6 +46,9 @@ class RawConfig:
     recv_cost_per_frame: float = 1.0e-6
     quantum_target_events: int = 48
     max_quantum: int = 32
+    #: adaptive frame-train batching: with no windowing to respect, raw
+    #: datagram chunks grow to the policy's full timing-tolerance train.
+    batch: BatchPolicy = DEFAULT_BATCH
 
     def __post_init__(self) -> None:
         if self.mtu < 1 or self.headers < 0:
@@ -95,6 +99,15 @@ class RawEthernetStack:
         msg_id = next_message_id()
         n_frames = -(-nbytes // cfg.mtu)
         quantum = choose_quantum(n_frames, cfg.quantum_target_events, cfg.max_quantum)
+        bw = self.nic.wire_bandwidth
+        quantum = max(
+            quantum,
+            adaptive_quantum(
+                n_frames,
+                wire_bytes(cfg.mtu, cfg.headers) / bw if bw > 0 else 0.0,
+                cfg.batch,
+            ),
+        )
         sent = 0
         while sent < nbytes:
             size = min(quantum * cfg.mtu, nbytes - sent)

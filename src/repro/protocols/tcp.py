@@ -31,8 +31,9 @@ from typing import Any, Optional
 from ..errors import ProtocolError
 from ..hw.cpu import CPU
 from ..net.addresses import MacAddress
+from ..net.batching import BatchPolicy, DEFAULT_BATCH, adaptive_quantum
 from ..net.nic import StandardNIC
-from ..net.packet import ETHERNET_MTU, IP_TCP_HEADERS, Frame
+from ..net.packet import ETHERNET_MTU, IP_TCP_HEADERS, Frame, wire_bytes
 from ..sim.engine import Event, Simulator
 from .base import Mailbox, MessageView, choose_quantum, next_message_id
 
@@ -58,6 +59,11 @@ class TCPConfig:
     # which inflates the RTT that cwnd must cover; 16 frames (~23 KiB) keeps
     # that artifact below the real window dynamics.
     max_quantum: int = 16
+    #: adaptive segment-train batching on top of the static quantum: the
+    #: sender may grow a chunk to the largest train within the policy's
+    #: timing tolerance, but never past a quarter of the effective window
+    #: (so the flight always holds >= 4 chunks and stays ACK-clocked).
+    batch: BatchPolicy = DEFAULT_BATCH
 
     def __post_init__(self) -> None:
         if self.mss < 1 or self.init_cwnd < 1 or self.init_ssthresh < 1:
@@ -184,6 +190,12 @@ class _SendConn:
                 "total": msg.nbytes,
                 "offset": offset,
                 "last": last,
+                # ACK-clocked traffic must not be merged in the fabric:
+                # per-hop train delay compounds through the feedback loop
+                # (delayed delivery -> delayed ACK -> delayed window
+                # growth).  TCP batches at the source instead, via the
+                # chunk quantum above.
+                "no_merge": True,
             },
         )
 
@@ -210,8 +222,22 @@ class _SendConn:
                 self._window_wakeup = ev
                 yield ev
             window_free = self.effective_window() - self.flight
+            quantum = msg.quantum
+            if cfg.batch.enabled:
+                # Grow the chunk to the largest segment train the timing
+                # tolerance allows, but keep >= 4 chunks per window so the
+                # flight stays ACK-clocked (never stop-and-wait).
+                bw = self.stack.nic.wire_bandwidth
+                remaining = -(-(msg.end - self.snd_nxt) // cfg.mss)
+                q_tol = adaptive_quantum(
+                    remaining,
+                    wire_bytes(cfg.mss, IP_TCP_HEADERS) / bw if bw > 0 else 0.0,
+                    cfg.batch,
+                )
+                q_win = max(1, self.effective_window() // (4 * cfg.mss))
+                quantum = max(quantum, min(q_tol, q_win))
             chunk = min(
-                msg.quantum * cfg.mss, msg.end - self.snd_nxt, window_free
+                quantum * cfg.mss, msg.end - self.snd_nxt, window_free
             )
             frame = self._build_frame(self.snd_nxt, chunk)
             if cpu is not None:

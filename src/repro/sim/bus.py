@@ -90,8 +90,9 @@ class FCFSBus:
         self.stats.bytes_transferred += nbytes
         self.stats.transfer_count += 1
         self.stats.busy_time += duration
+        # One heap entry: the completion event itself (no trampoline).
         done = self.sim.event(name=f"{self.name}.xfer")
-        self.sim.schedule_callback(finish - self.sim.now, lambda: done.succeed(nbytes))
+        self.sim.succeed_later(done, finish - self.sim.now, nbytes)
         return done
 
     def transfer_proc(self, nbytes: float):
@@ -164,9 +165,7 @@ class FairShareBus:
         done = self.sim.event(name=f"{self.name}.xfer")
         flow = _Flow(nbytes, rate_cap, done)
         if self.arbitration_latency > 0:
-            self.sim.schedule_callback(
-                self.arbitration_latency, lambda: self._admit(flow)
-            )
+            self.sim.call_after(self.arbitration_latency, self._admit, flow)
         else:
             self._admit(flow)
         return done
@@ -249,16 +248,15 @@ class FairShareBus:
         finishing = [
             f for f, r in zip(self._flows, rates) if r > 0 and f.remaining / r == next_dt
         ]
+        self.sim.call_after(next_dt, self._on_tick, generation, finishing)
 
-        def _on_tick() -> None:
-            if generation != self._generation:
-                return  # a newer reschedule superseded this tick
-            self._advance()
-            for f in finishing:
-                f.remaining = 0.0
-            self._reschedule()
-
-        self.sim.schedule_callback(next_dt, _on_tick, name=f"{self.name}.tick")
+    def _on_tick(self, generation: int, finishing: list[_Flow]) -> None:
+        if generation != self._generation:
+            return  # a newer reschedule superseded this tick
+        self._advance()
+        for f in finishing:
+            f.remaining = 0.0
+        self._reschedule()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -28,6 +28,23 @@ Concepts
 ``AnyOf`` / ``AllOf``
     Composite conditions over several events.
 
+Fast path
+---------
+The hot loop of every figure sweep is ``run()`` popping millions of
+events, most of which are one of two shapes:
+
+* a bare timed callback (wire deliveries, bus completions, switch
+  forwarding) — represented by a pooled, closure-free :class:`_Callback`
+  heap entry created with :meth:`Simulator.call_after`, which never
+  allocates an :class:`Event` at all;
+* an anonymous ``yield sim.sleep(dt)`` inside a model process —
+  represented by a free-list-pooled :class:`Timeout` that the run loop
+  recycles once its callbacks have fired.
+
+``run()`` inlines the per-event work (no ``step()`` call per event) and
+``Timeout`` builds its display name lazily — the f-string only exists if
+someone actually prints the event.
+
 Determinism
 -----------
 Events scheduled for the same timestamp fire in (priority, insertion
@@ -45,6 +62,7 @@ from ..errors import Interrupt, ProcessError, SimTimeError
 
 __all__ = [
     "Simulator",
+    "SimulationRunaway",
     "Event",
     "Timeout",
     "Process",
@@ -60,21 +78,37 @@ NORMAL = 1
 
 _PENDING = object()  # sentinel: event value not yet set
 
+#: bound on the kernel free lists (Timeout / _Callback recycling)
+_POOL_MAX = 1024
+
+
+class SimulationRunaway(SimTimeError):
+    """Raised when ``run(max_events=...)`` exceeds its event budget."""
+
 
 class Event:
     """A one-shot occurrence that callbacks and processes can wait on."""
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
-        self.name = name
+        self._name = name
         #: callables invoked with this event when it is processed; set to
         #: ``None`` afterwards so late additions fail loudly.
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: bool = True
         self._scheduled = False
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     # -- state ----------------------------------------------------------------
     @property
@@ -143,18 +177,52 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` seconds after creation."""
+    """An event that fires ``delay`` seconds after creation.
 
-    __slots__ = ("delay",)
+    The display name is built lazily — ``run()`` never pays for a name
+    f-string that nothing prints.
+    """
+
+    __slots__ = ("delay", "_pooled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimTimeError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ (this constructor is on the hot path).
+        self.sim = sim
+        self._name = None
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._scheduled = False
+        self.delay = delay
+        self._pooled = False
         sim._schedule(self, NORMAL, delay)
+
+    @property
+    def name(self) -> str:
+        if self._name is None:
+            return f"timeout({self.delay:g})"
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
+
+class _Callback:
+    """A pooled, closure-free timed callback heap entry.
+
+    Not an :class:`Event` — nothing can wait on it, which is exactly why
+    the run loop can recycle it the moment it fires.  Created via
+    :meth:`Simulator.call_after`.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self) -> None:
+        self.fn: Optional[Callable[..., None]] = None
+        self.args: tuple = ()
 
 
 class Initialize(Event):
@@ -328,9 +396,12 @@ class Simulator:
 
     def __init__(self):
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: free lists for the two hot-path entry shapes (see module docs)
+        self._timeout_pool: list[Timeout] = []
+        self._callback_pool: list[_Callback] = []
         #: number of events processed so far (diagnostics / loop guards)
         self.event_count: int = 0
 
@@ -354,6 +425,32 @@ class Simulator:
         """Create an event that fires after ``delay`` seconds."""
         return Timeout(self, delay, value)
 
+    def sleep(self, delay: float) -> Timeout:
+        """A pooled ``timeout(delay)`` for fire-and-forget waits.
+
+        Contract: the caller must not retain the returned event past its
+        firing — the run loop recycles it into a free list as soon as its
+        callbacks have run.  The canonical use is an anonymous
+        ``yield sim.sleep(dt)`` inside a model process.  Do not pass the
+        result to ``any_of``/``all_of`` or store it; use ``timeout()``
+        for those cases.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimTimeError(f"negative timeout delay: {delay!r}")
+            t = pool.pop()
+            t.delay = delay
+            t.callbacks = []
+            t._value = None
+            t._ok = True
+            t._scheduled = False
+            self._schedule(t, NORMAL, delay)
+            return t
+        t = Timeout(self, delay)
+        t._pooled = True
+        return t
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from a generator."""
         return Process(self, generator, name)
@@ -373,6 +470,38 @@ class Simulator:
         event._scheduled = True
         heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
 
+    def succeed_later(
+        self, event: Event, delay: float, value: Any = None, priority: int = NORMAL
+    ) -> Event:
+        """Schedule ``event`` to succeed with ``value`` after ``delay``.
+
+        Equivalent to a timed ``event.succeed(value)`` but with a single
+        heap entry — the event itself — instead of a trampoline callback
+        plus a second same-time entry.
+        """
+        if event._value is not _PENDING:
+            raise RuntimeError(f"{event!r} has already been triggered")
+        event._ok = True
+        event._value = value
+        self._schedule(event, priority, delay)
+        return event
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds (closure-free).
+
+        The fast-path variant of :meth:`schedule_callback`: nothing can
+        wait on the result, no :class:`Event` is allocated, and the heap
+        entry is recycled through a free list.  This is what the wire,
+        switch, and bus models use for their per-frame timed callbacks.
+        """
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule callback in the past (delay={delay!r})")
+        pool = self._callback_pool
+        cb = pool.pop() if pool else _Callback()
+        cb.fn = fn
+        cb.args = args
+        heapq.heappush(self._heap, (self._now + delay, NORMAL, next(self._seq), cb))
+
     def schedule_callback(
         self, delay: float, fn: Callable[[], None], name: str = "callback"
     ) -> Event:
@@ -390,19 +519,34 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (slow path; ``run()`` inlines this)."""
         when, _prio, _seq, event = heapq.heappop(self._heap)
         if when < self._now:  # pragma: no cover - heap guarantees monotonicity
             raise SimTimeError("event heap time went backwards")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
         self.event_count += 1
+        if type(event) is _Callback:
+            fn, args = event.fn, event.args
+            fn(*args)
+            event.fn = None
+            event.args = ()
+            if len(self._callback_pool) < _POOL_MAX:
+                self._callback_pool.append(event)
+            return
+        callbacks, event.callbacks = event.callbacks, None
         for fn in callbacks:
             fn(event)
         if not event._ok and not callbacks:
             # A failed event nobody waited on: surface the error instead of
             # silently dropping it (mirrors simpy's behaviour).
             raise event._value
+        if (
+            type(event) is Timeout
+            and event._pooled
+            and len(self._timeout_pool) < _POOL_MAX
+        ):
+            event._value = _PENDING
+            self._timeout_pool.append(event)
 
     def run(
         self, until: Optional[float | Event] = None, max_events: Optional[int] = None
@@ -443,23 +587,55 @@ class Simulator:
                     f"cannot run until {horizon!r}: clock already at {self._now!r}"
                 )
 
+        # The loop below is step() unrolled with everything in locals —
+        # the per-event overhead here bounds every figure sweep.
+        heap = self._heap
+        heappop = heapq.heappop
+        timeout_pool = self._timeout_pool
+        callback_pool = self._callback_pool
         processed = 0
-        while self._heap:
-            if stop_value:
-                break
-            if self.peek() > horizon:
-                self._now = horizon
-                break
-            self.step()
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                raise SimulationRunaway(
-                    f"exceeded max_events={max_events} (clock at {self._now:g}s)"
-                )
-        else:
-            # Heap drained; advance clock to the horizon for time-based runs.
-            if target is None and horizon != float("inf"):
-                self._now = horizon
+        try:
+            while heap:
+                if stop_value:
+                    break
+                if heap[0][0] > horizon:
+                    self._now = horizon
+                    break
+                when, _prio, _seq, event = heappop(heap)
+                self._now = when
+                processed += 1
+                if type(event) is _Callback:
+                    fn, args = event.fn, event.args
+                    fn(*args)
+                    event.fn = None
+                    event.args = ()
+                    if len(callback_pool) < _POOL_MAX:
+                        callback_pool.append(event)
+                else:
+                    callbacks, event.callbacks = event.callbacks, None
+                    for fn in callbacks:
+                        fn(event)
+                    if not event._ok and not callbacks:
+                        # A failed event nobody waited on: surface the error
+                        # instead of silently dropping it.
+                        raise event._value
+                    if (
+                        type(event) is Timeout
+                        and event._pooled
+                        and len(timeout_pool) < _POOL_MAX
+                    ):
+                        event._value = _PENDING
+                        timeout_pool.append(event)
+                if max_events is not None and processed >= max_events:
+                    raise SimulationRunaway(
+                        f"exceeded max_events={max_events} (clock at {self._now:g}s)"
+                    )
+            else:
+                # Heap drained; advance clock to the horizon for time-based runs.
+                if target is None and horizon != float("inf"):
+                    self._now = horizon
+        finally:
+            self.event_count += processed
 
         if target is not None:
             if not stop_value:
@@ -474,7 +650,3 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:g}s queued={len(self._heap)}>"
-
-
-class SimulationRunaway(SimTimeError):
-    """Raised when ``run(max_events=...)`` exceeds its event budget."""

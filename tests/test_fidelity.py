@@ -8,27 +8,44 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hw import CPU, CacheLevel, MemoryHierarchy
-from repro.net import Frame, GIGABIT_ETHERNET, MacAddress, StandardNIC, build_star
+from repro.net import (
+    DEFAULT_BATCH,
+    Frame,
+    GIGABIT_ETHERNET,
+    MacAddress,
+    PER_FRAME,
+    StandardNIC,
+    build_star,
+)
 from repro.protocols import TCPConfig, TCPStack
 from repro.sim import FairShareBus, Simulator
 
 
-def build_pair(tcp_config):
+def build_pair(tcp_config, batch=DEFAULT_BATCH):
     sim = Simulator()
     nics, stacks = [], []
     for i in range(2):
         mh = MemoryHierarchy([CacheLevel("DRAM", float("inf"), 0.6e9, 0.12e9)])
         cpu = CPU(sim, mh)
         bus = FairShareBus(sim, bandwidth=112e6)
-        nic = StandardNIC(sim, MacAddress(i), host_bus=bus, cpu=cpu, name=f"nic{i}")
+        nic = StandardNIC(
+            sim, MacAddress(i), host_bus=bus, cpu=cpu, batch=batch, name=f"nic{i}"
+        )
         stacks.append(TCPStack(sim, nic, cpu, config=tcp_config, name=f"tcp{i}"))
         nics.append(nic)
-    switch = build_star(sim, [(MacAddress(i), nics[i]) for i in range(2)])
+    switch = build_star(
+        sim, [(MacAddress(i), nics[i]) for i in range(2)], batch=batch
+    )
     return sim, stacks, nics, switch
 
 
-def transfer_time(tcp_config, nbytes):
-    sim, stacks, _, _ = build_pair(tcp_config)
+def per_frame_config():
+    """PACKET fidelity: quantum 1 everywhere, no train coalescing."""
+    return TCPConfig(max_quantum=1, quantum_target_events=10**9, batch=PER_FRAME)
+
+
+def transfer_time(tcp_config, nbytes, batch=DEFAULT_BATCH):
+    sim, stacks, _, _ = build_pair(tcp_config, batch)
     t = {}
 
     def sender():
@@ -50,13 +67,13 @@ def test_quantum_batching_preserves_transfer_time():
     agree on bulk-transfer time within a tolerance — the justification
     for running paper-scale sweeps at CHUNK fidelity."""
     nbytes = 2_000_000
-    t_packet = transfer_time(TCPConfig(max_quantum=1, quantum_target_events=10**9), nbytes)
+    t_packet = transfer_time(per_frame_config(), nbytes, batch=PER_FRAME)
     t_chunk = transfer_time(TCPConfig(max_quantum=16), nbytes)
     assert t_chunk == pytest.approx(t_packet, rel=0.25)
 
 
 def test_quantum_batching_reduces_event_count():
-    sim1, stacks1, _, _ = build_pair(TCPConfig(max_quantum=1, quantum_target_events=10**9))
+    sim1, stacks1, _, _ = build_pair(per_frame_config(), batch=PER_FRAME)
     sim16, stacks16, _, _ = build_pair(TCPConfig(max_quantum=16))
     for sim, stacks in ((sim1, stacks1), (sim16, stacks16)):
         def sender(s=stacks):

@@ -13,9 +13,9 @@ from repro.bench.harness import Scale, render_table
 from repro.bench.report import shape_summary
 
 
-def test_fig4a_speedups(benchmark):
+def test_fig4a_speedups(benchmark, sweep_engine):
     scale = Scale.paper()  # the model is closed-form: paper scale is free
-    exp = run_once(benchmark, fig4a, scale)
+    exp = run_once(benchmark, fig4a, scale, engine=sweep_engine)
     print()
     print(render_table(exp))
 

@@ -19,9 +19,9 @@ def _log_slope(series, x0, x1):
     return math.log(series.at(x1) / series.at(x0)) / math.log(x1 / x0)
 
 
-def test_fig4b_decomposition(benchmark):
+def test_fig4b_decomposition(benchmark, sweep_engine):
     scale = Scale.paper()
-    exp = run_once(benchmark, fig4b, scale)
+    exp = run_once(benchmark, fig4b, scale, engine=sweep_engine)
     print()
     print(render_table(exp))
 

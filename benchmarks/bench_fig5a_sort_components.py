@@ -12,9 +12,9 @@ from repro.bench.figures import fig5a
 from repro.bench.harness import Scale, render_table
 
 
-def test_fig5a_components(benchmark):
+def test_fig5a_components(benchmark, sweep_engine):
     scale = Scale.paper()
-    exp = run_once(benchmark, fig5a, scale)
+    exp = run_once(benchmark, fig5a, scale, engine=sweep_engine)
     print()
     print(render_table(exp))
 

@@ -12,9 +12,9 @@ from repro.bench.figures import fig5b
 from repro.bench.harness import Scale, render_table
 
 
-def test_fig5b_speedups(benchmark):
+def test_fig5b_speedups(benchmark, sweep_engine):
     scale = Scale.paper()
-    exp = run_once(benchmark, fig5b, scale)
+    exp = run_once(benchmark, fig5b, scale, engine=sweep_engine)
     print()
     print(render_table(exp))
 

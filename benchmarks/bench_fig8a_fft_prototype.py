@@ -13,8 +13,8 @@ from repro.bench.figures import fig8a
 from repro.bench.harness import Scale, render_table
 
 
-def test_fig8a_prototype_fft(benchmark, bench_scale: Scale):
-    exp = run_once(benchmark, fig8a, bench_scale)
+def test_fig8a_prototype_fft(benchmark, bench_scale: Scale, sweep_engine):
+    exp = run_once(benchmark, fig8a, bench_scale, engine=sweep_engine)
     print()
     print(render_table(exp))
     rows = bench_scale.fft_sizes[0]

@@ -11,8 +11,8 @@ from repro.bench.figures import fig8b
 from repro.bench.harness import Scale, render_table
 
 
-def test_fig8b_prototype_sort(benchmark, bench_scale: Scale):
-    exp = run_once(benchmark, fig8b, bench_scale)
+def test_fig8b_prototype_sort(benchmark, bench_scale: Scale, sweep_engine):
+    exp = run_once(benchmark, fig8b, bench_scale, engine=sweep_engine)
     print()
     print(render_table(exp))
 

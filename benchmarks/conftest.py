@@ -9,6 +9,7 @@ printed so ``pytest benchmarks/ --benchmark-only -s`` shows the curves.
 import pytest
 
 from repro.bench.harness import Scale
+from repro.bench.sweep import SweepEngine
 
 
 @pytest.fixture(scope="session")
@@ -19,6 +20,13 @@ def bench_scale() -> Scale:
 @pytest.fixture(scope="session")
 def paper_scale() -> Scale:
     return Scale.paper()
+
+
+@pytest.fixture(scope="session")
+def sweep_engine() -> SweepEngine:
+    """Serial, uncached engine: pytest-benchmark must time real runs,
+    never cache recalls."""
+    return SweepEngine(jobs=1, cache_dir=None)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -4,11 +4,16 @@ from .calibration import KernelRates, compare_des_vs_model, measure_kernel_rates
 from .figures import all_figures, fig4a, fig4b, fig5a, fig5b, fig8a, fig8b
 from .harness import Experiment, Scale, render_all, render_table
 from .report import ascii_plot, shape_summary, to_markdown
+from .sweep import PointResult, PointSpec, SweepEngine, SweepStats
 
 __all__ = [
     "Experiment",
     "KernelRates",
+    "PointResult",
+    "PointSpec",
     "Scale",
+    "SweepEngine",
+    "SweepStats",
     "all_figures",
     "ascii_plot",
     "compare_des_vs_model",

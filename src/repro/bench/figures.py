@@ -10,46 +10,27 @@ Methodology mirrors the paper's:
   the ACEII-prototype INIC), as the paper's Section 6 measures/estimates
   on real hardware.
 
-Every function returns an :class:`~repro.bench.harness.Experiment`
-whose series print as paper-style rows via ``render_table``.
+Every figure is reproduced in two steps that route through the sweep
+engine (:mod:`repro.bench.sweep`): *enumerate* the panel's points as
+:class:`~repro.bench.sweep.PointSpec` s, then *assemble* the engine's
+results into an :class:`~repro.bench.harness.Experiment`.  Passing an
+engine parallelizes and caches the points; passing none runs them
+serially in-process (bit-identical either way, since every point seeds
+its own RNG from its spec).
 
 Run the full suite from the command line::
 
-    python -m repro.bench.figures --scale paper
+    python -m repro.bench.figures --scale paper --jobs 8 --csv results
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Callable, Optional
 
-from ..apps.fft import baseline_fft2d, inic_fft2d
-from ..apps.sort import baseline_sort, inic_sort
-from ..cluster.builder import Cluster, ClusterSpec, athlon_node
-from ..core.api import build_acc
-from ..inic.card import ACEII_PROTOTYPE, CardSpec, IDEAL_INIC
-from ..models.fft_model import (
-    fft_compute_total,
-    inic_fft_time,
-    inic_transpose_time,
-    partition_bytes,
-    serial_fft_time,
-)
-from ..models.gige_model import (
-    fe_fft_time,
-    gige_fft_time,
-    gige_sort_time,
-    tcp_alltoall_time,
-)
 from ..models.params import DEFAULT_PARAMS, MachineParams
-from ..models.sort_model import (
-    inic_sort_time,
-    serial_sort_time,
-    sort_component_series,
-)
 from ..models.speedup import Series, speedup_series
-from ..net.fabric import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkTechnology
-from ..units import seconds_to_ms
 from .harness import Experiment, Scale
+from .sweep import PointResult, PointSpec, SweepEngine, machine_params_dict
 
 __all__ = [
     "fig4a",
@@ -61,14 +42,45 @@ __all__ = [
     "all_figures",
 ]
 
-_HIERARCHY = athlon_node().hierarchy()
+#: networks as spec-embeddable names (resolved by the sweep runners)
+_GIGE = "gigabit-ethernet"
+_FE = "fast-ethernet"
+#: the measured prototype card
+_PROTO = "aceii-prototype"
+
+#: workload seeds, kept identical to the pre-engine reproduction so the
+#: committed results/fig*.csv stay stable
+_FFT_SEED = 1
+_SORT_SEED = 2
+
+
+def _run(
+    engine: Optional[SweepEngine], specs: list[PointSpec]
+) -> dict[str, PointResult]:
+    engine = engine or SweepEngine(jobs=1, cache_dir=None)
+    return engine.run(specs)
 
 
 # ---------------------------------------------------------------------------
 # Figure 4 — FFT analysis
 # ---------------------------------------------------------------------------
-def fig4a(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
-    """Fig. 4(a): analytic FFTW speedups, INIC vs Gigabit Ethernet."""
+def _fig4a_specs(scale: Scale, params: MachineParams) -> list[PointSpec]:
+    machine = machine_params_dict(params)
+    return [
+        PointSpec(
+            "fft-analytic",
+            f"fig4a/r{rows}/p{p}",
+            {"rows": rows, "p": p, "machine": machine},
+        )
+        for rows in scale.fft_sizes
+        for p in scale.fft_procs
+        if rows % p == 0
+    ]
+
+
+def _fig4a_build(
+    scale: Scale, params: MachineParams, results: dict[str, PointResult]
+) -> Experiment:
     exp = Experiment(
         "fig4a",
         "FFTW speedups: ideal INIC vs Gigabit Ethernet (analytical)",
@@ -77,21 +89,40 @@ def fig4a(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
     )
     for rows in scale.fft_sizes:
         procs = [p for p in scale.fft_procs if rows % p == 0]
-        t1 = serial_fft_time(rows, _HIERARCHY, params)
-        inic_times = [
-            t1 if p == 1 else inic_fft_time(rows, p, _HIERARCHY, params)
-            for p in procs
-        ]
-        gige_times = [gige_fft_time(rows, p, _HIERARCHY, params) for p in procs]
-        exp.add(speedup_series(f"INIC {rows}x{rows}", procs, inic_times, t1))
-        exp.add(speedup_series(f"GigE {rows}x{rows}", procs, gige_times, t1))
+        pts = [results[f"fig4a/r{rows}/p{p}"].value for p in procs]
+        t1 = pts[0]["serial"]
+        exp.add(speedup_series(f"INIC {rows}x{rows}", procs, [v["inic"] for v in pts], t1))
+        exp.add(speedup_series(f"GigE {rows}x{rows}", procs, [v["gige"] for v in pts], t1))
     exp.notes.append("INIC curves from Eqs. (3)-(10); GigE from calibrated TCP model")
     return exp
 
 
-def fig4b(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
-    """Fig. 4(b): transpose decomposition vs partition size (largest
-    matrix of the scale)."""
+def fig4a(
+    scale: Scale,
+    params: MachineParams = DEFAULT_PARAMS,
+    engine: Optional[SweepEngine] = None,
+) -> Experiment:
+    """Fig. 4(a): analytic FFTW speedups, INIC vs Gigabit Ethernet."""
+    return _fig4a_build(scale, params, _run(engine, _fig4a_specs(scale, params)))
+
+
+def _fig4b_specs(scale: Scale, params: MachineParams) -> list[PointSpec]:
+    rows = max(scale.fft_sizes)
+    machine = machine_params_dict(params)
+    return [
+        PointSpec(
+            "transpose-analytic",
+            f"fig4b/r{rows}/p{p}",
+            {"rows": rows, "p": p, "machine": machine},
+        )
+        for p in scale.fft_procs
+        if rows % p == 0
+    ]
+
+
+def _fig4b_build(
+    scale: Scale, params: MachineParams, results: dict[str, PointResult]
+) -> Experiment:
     rows = max(scale.fft_sizes)
     procs = [p for p in scale.fft_procs if rows % p == 0]
     exp = Experiment(
@@ -100,29 +131,26 @@ def fig4b(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
         "P",
         "milliseconds (partition in KiB)",
     )
-    comm, compute, inic_t, part = [], [], [], []
-    for p in procs:
-        s = partition_bytes(rows, p, params)
-        comm.append(
-            seconds_to_ms(
-                2
-                * tcp_alltoall_time(
-                    s, p, params.gige_tcp_bulk_rate, params.gige_tcp_message_overhead
-                )
-            )
-        )
-        compute.append(seconds_to_ms(fft_compute_total(rows, p, _HIERARCHY, params)))
-        inic_t.append(seconds_to_ms(inic_transpose_time(rows, p, params)))
-        part.append(s / 1024.0)
+    pts = [results[f"fig4b/r{rows}/p{p}"].value for p in procs]
     x = [float(p) for p in procs]
-    exp.add(Series("NIC comm time (ms)", x, comm))
-    exp.add(Series("NIC compute time (ms)", x, compute))
-    exp.add(Series("INIC transpose (ms)", x, inic_t))
-    exp.add(Series("partition (KiB)", x, part))
+    exp.add(Series("NIC comm time (ms)", x, [v["comm_ms"] for v in pts]))
+    exp.add(Series("NIC compute time (ms)", x, [v["compute_ms"] for v in pts]))
+    exp.add(Series("INIC transpose (ms)", x, [v["inic_ms"] for v in pts]))
+    exp.add(Series("partition (KiB)", x, [v["partition_kib"] for v in pts]))
     exp.notes.append(
         "partition size falls faster than NIC comm time; INIC transpose sits below it"
     )
     return exp
+
+
+def fig4b(
+    scale: Scale,
+    params: MachineParams = DEFAULT_PARAMS,
+    engine: Optional[SweepEngine] = None,
+) -> Experiment:
+    """Fig. 4(b): transpose decomposition vs partition size (largest
+    matrix of the scale)."""
+    return _fig4b_build(scale, params, _run(engine, _fig4b_specs(scale, params)))
 
 
 # ---------------------------------------------------------------------------
@@ -132,8 +160,24 @@ def _analytic_sort_keys(scale: Scale, params: MachineParams) -> int:
     return params.sort_total_keys if scale.name == "paper" else scale.sort_keys
 
 
-def fig5a(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
-    """Fig. 5(a): sort phase times and partition size vs P."""
+def _fig5a_specs(scale: Scale, params: MachineParams) -> list[PointSpec]:
+    e_init = _analytic_sort_keys(scale, params)
+    machine = machine_params_dict(params)
+    return [
+        PointSpec(
+            "sort-components-analytic",
+            f"fig5a/e{e_init}/p{p}",
+            {"e_init": e_init, "p": p, "machine": machine},
+        )
+        for p in scale.sort_procs
+    ]
+
+
+def _fig5a_build(
+    scale: Scale, params: MachineParams, results: dict[str, PointResult]
+) -> Experiment:
+    from ..units import seconds_to_ms
+
     e_init = _analytic_sort_keys(scale, params)
     procs = list(scale.sort_procs)
     exp = Experiment(
@@ -142,74 +186,111 @@ def fig5a(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
         "P",
         "milliseconds (partition in KiB)",
     )
-    pts = sort_component_series(e_init, procs, _HIERARCHY, params)
-    x = [float(p.p) for p in pts]
-    exp.add(Series("count sort (ms)", x, [seconds_to_ms(p.count_sort_time) for p in pts]))
+    pts = [results[f"fig5a/e{e_init}/p{p}"].value for p in procs]
+    x = [float(p) for p in procs]
+    exp.add(Series("count sort (ms)", x, [seconds_to_ms(v["count_sort"]) for v in pts]))
     exp.add(
-        Series("phase1 bucket (ms)", x, [seconds_to_ms(p.phase1_bucket_time) for p in pts])
+        Series("phase1 bucket (ms)", x, [seconds_to_ms(v["phase1_bucket"]) for v in pts])
     )
     exp.add(
-        Series("phase2 bucket (ms)", x, [seconds_to_ms(p.phase2_bucket_time) for p in pts])
+        Series("phase2 bucket (ms)", x, [seconds_to_ms(v["phase2_bucket"]) for v in pts])
     )
-    comm = [
-        seconds_to_ms(
-            tcp_alltoall_time(
-                p.partition_kib * 1024.0,
-                int(p.p),
-                params.gige_tcp_bulk_rate,
-                params.gige_tcp_message_overhead,
-            )
-        )
-        for p in pts
-    ]
-    exp.add(Series("communication (ms)", x, comm))
-    exp.add(Series("partition (KiB)", x, [p.partition_kib for p in pts]))
+    exp.add(
+        Series("communication (ms)", x, [seconds_to_ms(v["communication"]) for v in pts])
+    )
+    exp.add(Series("partition (KiB)", x, [v["partition_kib"] for v in pts]))
     return exp
 
 
-def fig5b(scale: Scale, params: MachineParams = DEFAULT_PARAMS) -> Experiment:
-    """Fig. 5(b): analytic sort speedups, INIC (superlinear) vs GigE."""
+def fig5a(
+    scale: Scale,
+    params: MachineParams = DEFAULT_PARAMS,
+    engine: Optional[SweepEngine] = None,
+) -> Experiment:
+    """Fig. 5(a): sort phase times and partition size vs P."""
+    return _fig5a_build(scale, params, _run(engine, _fig5a_specs(scale, params)))
+
+
+def _fig5b_specs(scale: Scale, params: MachineParams) -> list[PointSpec]:
+    e_init = _analytic_sort_keys(scale, params)
+    machine = machine_params_dict(params)
+    return [
+        PointSpec(
+            "sort-analytic",
+            f"fig5b/e{e_init}/p{p}",
+            {"e_init": e_init, "p": p, "machine": machine},
+        )
+        for p in scale.sort_procs
+    ]
+
+
+def _fig5b_build(
+    scale: Scale, params: MachineParams, results: dict[str, PointResult]
+) -> Experiment:
     e_init = _analytic_sort_keys(scale, params)
     procs = list(scale.sort_procs)
-    t1 = serial_sort_time(e_init, _HIERARCHY, params)
-    inic_times = [
-        t1 if p == 1 else inic_sort_time(e_init, p, _HIERARCHY, params) for p in procs
-    ]
-    gige_times = [gige_sort_time(e_init, p, _HIERARCHY, params) for p in procs]
+    pts = [results[f"fig5b/e{e_init}/p{p}"].value for p in procs]
+    t1 = pts[0]["serial"]
     exp = Experiment(
         "fig5b",
         f"integer-sort speedups, E = {e_init} keys (analytical)",
         "P",
         "speedup over one processor",
     )
-    exp.add(speedup_series("INIC", procs, inic_times, t1))
-    exp.add(speedup_series("GigE", procs, gige_times, t1))
+    exp.add(speedup_series("INIC", procs, [v["inic"] for v in pts], t1))
+    exp.add(speedup_series("GigE", procs, [v["gige"] for v in pts], t1))
     exp.notes.append(
         "INIC superlinearity: host bucket-sort time is eliminated entirely"
     )
     return exp
 
 
+def fig5b(
+    scale: Scale,
+    params: MachineParams = DEFAULT_PARAMS,
+    engine: Optional[SweepEngine] = None,
+) -> Experiment:
+    """Fig. 5(b): analytic sort speedups, INIC (superlinear) vs GigE."""
+    return _fig5b_build(scale, params, _run(engine, _fig5b_specs(scale, params)))
+
+
 # ---------------------------------------------------------------------------
 # Figure 8 — prototype measurements (DES)
 # ---------------------------------------------------------------------------
-def _fft_des_time(
-    rows: int, p: int, network: NetworkTechnology, card: CardSpec | None, seed: int = 1
-) -> float:
-    g = np.random.default_rng(seed)
-    m = g.standard_normal((rows, rows)) + 1j * g.standard_normal((rows, rows))
-    if card is None:
-        cluster = Cluster.build(ClusterSpec(n_nodes=p, network=network))
-        _, res = baseline_fft2d(cluster, m)
-    else:
-        cluster, manager = build_acc(p, card=card, network=network)
-        _, res = inic_fft2d(cluster, manager, m)
-    return res.makespan
+def _fft_des_spec(
+    rows: int, p: int, network: str, card: Optional[str]
+) -> PointSpec:
+    tag = card or network
+    return PointSpec(
+        "fft-des",
+        f"fig8a/{tag}/r{rows}/p{p}",
+        {"rows": rows, "p": p, "network": network, "card": card, "seed": _FFT_SEED},
+    )
 
 
-def fig8a(scale: Scale) -> Experiment:
-    """Fig. 8(a): simulated 2D-FFT speedups on Fast Ethernet, Gigabit
-    Ethernet, and the prototype INIC."""
+#: Fig. 8(a)'s curves: (label, network, card).  P=1 is the serial host
+#: run for every curve (speedup 1 by definition; nobody offloads a
+#: one-node transpose), so all curves share the GigE baseline point.
+_FIG8A_CURVES: list[tuple[str, str, Optional[str]]] = [
+    ("proto INIC", _GIGE, _PROTO),
+    ("Fast Ethernet", _FE, None),
+    ("GigE", _GIGE, None),
+]
+
+
+def _fig8a_specs(scale: Scale) -> list[PointSpec]:
+    specs = []
+    for rows in scale.fft_sizes:
+        procs = [p for p in scale.fft_procs if rows % p == 0]
+        specs.append(_fft_des_spec(rows, 1, _GIGE, None))  # shared t1
+        for _, network, card in _FIG8A_CURVES:
+            specs += [
+                _fft_des_spec(rows, p, network, card) for p in procs if p != 1
+            ]
+    return specs
+
+
+def _fig8a_build(scale: Scale, results: dict[str, PointResult]) -> Experiment:
     exp = Experiment(
         "fig8a",
         "2D-FFT speedup: Fast Ethernet vs GigE vs prototype INIC (DES)",
@@ -218,16 +299,14 @@ def fig8a(scale: Scale) -> Experiment:
     )
     for rows in scale.fft_sizes:
         procs = [p for p in scale.fft_procs if rows % p == 0]
-        t1 = _fft_des_time(rows, 1, GIGABIT_ETHERNET, None)
-        for label, network, card in (
-            ("proto INIC", GIGABIT_ETHERNET, ACEII_PROTOTYPE),
-            ("Fast Ethernet", FAST_ETHERNET, None),
-            ("GigE", GIGABIT_ETHERNET, None),
-        ):
-            # P=1 is the serial host run for every curve (speedup 1 by
-            # definition; nobody offloads a one-node transpose).
+        t1 = results[_fft_des_spec(rows, 1, _GIGE, None).name].value["makespan"]
+        for label, network, card in _FIG8A_CURVES:
             times = [
-                t1 if p == 1 else _fft_des_time(rows, p, network, card)
+                t1
+                if p == 1
+                else results[_fft_des_spec(rows, p, network, card).name].value[
+                    "makespan"
+                ]
                 for p in procs
             ]
             exp.add(speedup_series(f"{label} {rows}", procs, times, t1))
@@ -235,28 +314,43 @@ def fig8a(scale: Scale) -> Experiment:
     return exp
 
 
-def _sort_des_time(
-    e_init: int, p: int, card: CardSpec | None, seed: int = 2
-) -> float:
-    g = np.random.default_rng(seed)
-    keys = g.integers(0, 2**32, size=e_init, dtype=np.uint32)
-    if card is None:
-        cluster = Cluster.build(ClusterSpec(n_nodes=p))
-        _, res = baseline_sort(cluster, keys)
-    else:
-        cluster, manager = build_acc(p, card=card)
-        _, res = inic_sort(cluster, manager, keys)
-    return res.makespan
+def fig8a(scale: Scale, engine: Optional[SweepEngine] = None) -> Experiment:
+    """Fig. 8(a): simulated 2D-FFT speedups on Fast Ethernet, Gigabit
+    Ethernet, and the prototype INIC."""
+    return _fig8a_build(scale, _run(engine, _fig8a_specs(scale)))
 
 
-def fig8b(scale: Scale) -> Experiment:
-    """Fig. 8(b): simulated integer-sort speedups, prototype INIC vs GigE."""
+def _sort_des_spec(e_init: int, p: int, card: Optional[str]) -> PointSpec:
+    tag = card or "gige"
+    return PointSpec(
+        "sort-des",
+        f"fig8b/{tag}/e{e_init}/p{p}",
+        {"e_init": e_init, "p": p, "card": card, "seed": _SORT_SEED},
+    )
+
+
+def _fig8b_specs(scale: Scale) -> list[PointSpec]:
     e_init = scale.sort_keys
     procs = [p for p in scale.sort_procs if e_init % p == 0]
-    t1 = _sort_des_time(e_init, 1, None)
-    gige = [t1 if p == 1 else _sort_des_time(e_init, p, None) for p in procs]
+    specs = [_sort_des_spec(e_init, 1, None)]
+    specs += [_sort_des_spec(e_init, p, None) for p in procs if p != 1]
+    specs += [_sort_des_spec(e_init, p, _PROTO) for p in procs if p != 1]
+    return specs
+
+
+def _fig8b_build(scale: Scale, results: dict[str, PointResult]) -> Experiment:
+    e_init = scale.sort_keys
+    procs = [p for p in scale.sort_procs if e_init % p == 0]
+    t1 = results[_sort_des_spec(e_init, 1, None).name].value["makespan"]
+    gige = [
+        t1 if p == 1 else results[_sort_des_spec(e_init, p, None).name].value["makespan"]
+        for p in procs
+    ]
     proto = [
-        t1 if p == 1 else _sort_des_time(e_init, p, ACEII_PROTOTYPE) for p in procs
+        t1
+        if p == 1
+        else results[_sort_des_spec(e_init, p, _PROTO).name].value["makespan"]
+        for p in procs
     ]
     exp = Experiment(
         "fig8b",
@@ -269,14 +363,54 @@ def fig8b(scale: Scale) -> Experiment:
     return exp
 
 
-def all_figures(scale: Scale) -> list[Experiment]:
-    return [fig4a(scale), fig4b(scale), fig5a(scale), fig5b(scale), fig8a(scale), fig8b(scale)]
+def fig8b(scale: Scale, engine: Optional[SweepEngine] = None) -> Experiment:
+    """Fig. 8(b): simulated integer-sort speedups, prototype INIC vs GigE."""
+    return _fig8b_build(scale, _run(engine, _fig8b_specs(scale)))
+
+
+# ---------------------------------------------------------------------------
+# Full suite
+# ---------------------------------------------------------------------------
+#: (figure id, spec enumerator, result assembler); analytic enumerators
+#: and assemblers also take MachineParams.
+_ANALYTIC = {"fig4a": (_fig4a_specs, _fig4a_build), "fig4b": (_fig4b_specs, _fig4b_build),
+             "fig5a": (_fig5a_specs, _fig5a_build), "fig5b": (_fig5b_specs, _fig5b_build)}
+_DES = {"fig8a": (_fig8a_specs, _fig8a_build), "fig8b": (_fig8b_specs, _fig8b_build)}
+
+
+def all_figures(
+    scale: Scale,
+    engine: Optional[SweepEngine] = None,
+    only: Optional[list[str]] = None,
+) -> list[Experiment]:
+    """Reproduce every panel (or the ``only`` subset) through **one**
+    batched sweep, so the engine can overlap DES points from different
+    figures across its workers."""
+    names = only or [*_ANALYTIC, *_DES]
+    unknown = [n for n in names if n not in _ANALYTIC and n not in _DES]
+    if unknown:
+        raise ValueError(f"unknown figures {unknown}; have {[*_ANALYTIC, *_DES]}")
+    specs: list[PointSpec] = []
+    for n in names:
+        if n in _ANALYTIC:
+            specs += _ANALYTIC[n][0](scale, DEFAULT_PARAMS)
+        else:
+            specs += _DES[n][0](scale)
+    results = _run(engine, specs)
+    out = []
+    for n in names:
+        if n in _ANALYTIC:
+            out.append(_ANALYTIC[n][1](scale, DEFAULT_PARAMS, results))
+        else:
+            out.append(_DES[n][1](scale, results))
+    return out
 
 
 def _main() -> None:  # pragma: no cover - CLI entry
     import argparse
 
     from .harness import render_all
+    from .sweep import DEFAULT_CACHE_DIR
 
     ap = argparse.ArgumentParser(description="regenerate the paper's figures")
     ap.add_argument("--scale", choices=["paper", "bench", "ci"], default="paper")
@@ -285,19 +419,27 @@ def _main() -> None:  # pragma: no cover - CLI entry
     )
     ap.add_argument("--csv", default=None, help="also export CSVs to this directory")
     ap.add_argument("--plot", action="store_true", help="append ASCII plots")
+    ap.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (default: os.cpu_count())",
+    )
+    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--force", action="store_true", help="ignore cached points")
     args = ap.parse_args()
-    scale = {"paper": Scale.paper, "bench": Scale.bench, "ci": Scale.ci}[args.scale]()
-    table = {
-        "fig4a": fig4a,
-        "fig4b": fig4b,
-        "fig5a": fig5a,
-        "fig5b": fig5b,
-        "fig8a": fig8a,
-        "fig8b": fig8b,
-    }
-    names = args.only or list(table)
-    experiments = [table[n](scale) for n in names]
+    scale = Scale.by_name(args.scale)
+    engine = SweepEngine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        force=args.force,
+    )
+    experiments = all_figures(scale, engine=engine, only=args.only)
     print(render_all(experiments))
+    stats = engine.last_run
+    print(
+        f"\nsweep: {stats.unique} points, {stats.hits} cached, "
+        f"{stats.executed} executed, jobs={engine.jobs}, {stats.wall_seconds:.2f}s"
+    )
     if args.plot:
         from .report import ascii_plot
 

@@ -66,6 +66,17 @@ class Scale:
             sort_procs=(1, 2, 4, 8),
         )
 
+    @classmethod
+    def by_name(cls, name: str) -> "Scale":
+        """Look up a named scale (``paper`` / ``bench`` / ``ci``)."""
+        try:
+            factory = {"paper": cls.paper, "bench": cls.bench, "ci": cls.ci}[name]
+        except KeyError:
+            raise ApplicationError(
+                f"unknown scale {name!r}; have paper, bench, ci"
+            ) from None
+        return factory()
+
 
 @dataclass
 class Experiment:

@@ -1,39 +1,42 @@
 """Perf-regression harness for the DES kernel and network stack.
 
-Runs a fixed scenario suite — the Fig. 8(b) integer-sort sweep at a
-chosen scale, over both the TCP/GigE baseline and the prototype INIC —
-and records, per scenario:
+A thin front-end over the sweep engine (:mod:`repro.bench.sweep`): the
+scenario suite — the Fig. 8(b) integer-sort sweep at a chosen scale,
+over both the TCP/GigE baseline and the prototype INIC — is enumerated
+by :func:`repro.bench.sweep.perf_points` and executed (in parallel,
+with caching) by :class:`~repro.bench.sweep.SweepEngine`.  Per
+scenario the engine's report records:
 
 * ``events`` — :attr:`repro.sim.engine.Simulator.event_count`, the
   deterministic cost metric (identical across machines and runs),
 * ``makespan`` — the simulated result (a fidelity canary: a perf change
   must not silently change what the simulation *computes*),
-* ``wall`` — host seconds for the scenario (best of ``repeats``).
+* ``wall_seconds`` — median host seconds over ``repeats`` runs of the
+  scenario (the median keeps the number noise-resistant; the engine
+  verifies all repeats produce identical simulation output).
 
-Results are written to ``BENCH_perf.json`` (git-ignored).  A committed
-reference lives in ``benchmarks/perf_reference.json``; ``--check``
-compares the current run against it and fails (exit 1) when any
-scenario's event count regresses by more than ``--tolerance``
-(default 10%).  Event counts, not wall seconds, gate CI — wall time is
-recorded for humans but depends on the host.
+``BENCH_perf.json`` (git-ignored) is a verbatim copy of the engine's
+report — there is a single writer, so it can never drift from what the
+engine measured.  A committed reference lives in
+``benchmarks/perf_reference.json``; ``--check`` compares the current
+run against it and fails (exit 1) when any scenario's event count
+regresses by more than ``--tolerance`` (default 10%).  Event counts,
+not wall seconds, gate CI — wall time is recorded for humans but
+depends on the host.
 
 Usage::
 
     python -m repro.bench.perf                 # measure, write BENCH_perf.json
     python -m repro.bench.perf --check         # also compare vs reference
     python -m repro.bench.perf --update-reference
+    python -m repro.bench.sweep --suite perf --jobs 2 --check   # same, full CLI
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
-import time
 from typing import Any, Optional
-
-import numpy as np
 
 __all__ = ["SCENARIOS", "run_suite", "compare", "main"]
 
@@ -43,68 +46,39 @@ REFERENCE_PATH = os.path.join("benchmarks", "perf_reference.json")
 OUTPUT_PATH = "BENCH_perf.json"
 
 
-def _sort_keys(scale) -> np.ndarray:
-    g = np.random.default_rng(2)
-    return g.integers(0, 2**32, size=scale.sort_keys, dtype=np.uint32)
+def _scenario_names(scale_name: str) -> list[str]:
+    from .harness import Scale
+    from .sweep import perf_points
 
-
-def _gige_sort(keys: np.ndarray, p: int) -> tuple[int, float]:
-    from .figures import Cluster, ClusterSpec, baseline_sort
-
-    cluster = Cluster.build(ClusterSpec(n_nodes=p))
-    _, res = baseline_sort(cluster, keys)
-    return cluster.sim.event_count, res.makespan
-
-
-def _inic_sort(keys: np.ndarray, p: int) -> tuple[int, float]:
-    from .figures import ACEII_PROTOTYPE, build_acc, inic_sort
-
-    cluster, manager = build_acc(p, card=ACEII_PROTOTYPE)
-    _, res = inic_sort(cluster, manager, keys)
-    return cluster.sim.event_count, res.makespan
-
-
-def _scenarios(scale) -> list[tuple[str, Any, int]]:
-    procs = [p for p in scale.sort_procs if scale.sort_keys % p == 0]
-    suite = [(f"sort-gige-p{p}", _gige_sort, p) for p in procs]
-    suite += [(f"sort-inic-p{p}", _inic_sort, p) for p in procs if p > 1]
-    return suite
+    return [spec.name for spec in perf_points(Scale.by_name(scale_name))]
 
 
 #: scenario names at the default (ci) scale, for reference
-SCENARIOS = [name for name, _, _ in _scenarios(__import__(
-    "repro.bench.harness", fromlist=["Scale"]).Scale.ci())]
+SCENARIOS = _scenario_names("ci")
 
 
-def run_suite(scale_name: str = "ci", repeats: int = 1) -> dict[str, Any]:
-    """Measure every scenario; returns the result document."""
+def run_suite(
+    scale_name: str = "ci",
+    repeats: int = 3,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    force: bool = False,
+) -> dict[str, Any]:
+    """Measure every scenario; returns the engine's report document.
+
+    Defaults preserve the historical behaviour of this module (serial,
+    uncached); pass ``jobs``/``cache_dir`` to opt in to fan-out and the
+    content-addressed cache, or use ``python -m repro.bench.sweep``.
+    """
     from .harness import Scale
+    from .sweep import SweepEngine, build_report, perf_points
 
-    scale = getattr(Scale, scale_name)()
-    keys = _sort_keys(scale)
-    results: dict[str, Any] = {}
-    for name, fn, p in _scenarios(scale):
-        best_wall: Optional[float] = None
-        events = makespan = None
-        for _ in range(max(1, repeats)):
-            t0 = time.perf_counter()
-            events, makespan = fn(keys, p)
-            wall = time.perf_counter() - t0
-            best_wall = wall if best_wall is None else min(best_wall, wall)
-        results[name] = {
-            "events": events,
-            "makespan": makespan,
-            "wall_seconds": round(best_wall, 4),
-        }
-    return {
-        "scale": scale.name,
-        "repeats": repeats,
-        "total_events": sum(r["events"] for r in results.values()),
-        "total_wall_seconds": round(
-            sum(r["wall_seconds"] for r in results.values()), 4
-        ),
-        "scenarios": results,
-    }
+    scale = Scale.by_name(scale_name)
+    engine = SweepEngine(
+        jobs=jobs, cache_dir=cache_dir, force=force, repeats=repeats
+    )
+    results = engine.run(perf_points(scale))
+    return build_report(results, scale.name, engine)
 
 
 def compare(
@@ -136,73 +110,12 @@ def compare(
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench.perf", description=__doc__.splitlines()[0]
-    )
-    parser.add_argument("--scale", default="ci", choices=["ci", "bench", "paper"])
-    parser.add_argument("--repeats", type=int, default=1)
-    parser.add_argument("--out", default=OUTPUT_PATH)
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="fail if event counts regress vs the committed reference",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.10,
-        help="allowed fractional event-count growth in --check mode",
-    )
-    parser.add_argument(
-        "--reference",
-        default=REFERENCE_PATH,
-        help="reference JSON for --check / --update-reference",
-    )
-    parser.add_argument(
-        "--update-reference",
-        action="store_true",
-        help="write this run as the new committed reference",
-    )
-    args = parser.parse_args(argv)
+    """Back-compat entry point: delegates to the sweep-engine CLI with
+    this module's historical defaults (serial, no cache)."""
+    from .sweep import main as sweep_main
 
-    doc = run_suite(args.scale, args.repeats)
-    with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    for name, r in doc["scenarios"].items():
-        print(
-            f"{name:16s} events={r['events']:>8d} "
-            f"makespan={r['makespan']:.6f} wall={r['wall_seconds']:.3f}s"
-        )
-    print(
-        f"{'TOTAL':16s} events={doc['total_events']:>8d} "
-        f"wall={doc['total_wall_seconds']:.3f}s -> {args.out}"
-    )
-
-    if args.update_reference:
-        os.makedirs(os.path.dirname(args.reference) or ".", exist_ok=True)
-        with open(args.reference, "w") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"reference updated: {args.reference}")
-
-    if args.check:
-        try:
-            with open(args.reference) as fh:
-                reference = json.load(fh)
-        except FileNotFoundError:
-            print(f"no reference at {args.reference}; run --update-reference")
-            return 1
-        failures = compare(doc, reference, args.tolerance)
-        if failures:
-            for f in failures:
-                print(f"FAIL {f}")
-            return 1
-        print(
-            f"PASS all {len(reference['scenarios'])} scenarios within "
-            f"{args.tolerance * 100:.0f}% of reference event counts"
-        )
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return sweep_main(["--suite", "perf", "--jobs", "1", "--no-cache", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

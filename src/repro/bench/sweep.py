@@ -1,0 +1,797 @@
+"""Parallel sweep engine with a content-addressed scenario cache.
+
+Every figure/benchmark point in the reproduction — one DES run or one
+analytic-model evaluation at a given (scenario, P, problem size) — is
+independent and deterministic.  This module turns that property into
+throughput:
+
+* **PointSpec** — a self-describing, hashable description of one point:
+  a runner ``kind`` plus JSON-safe ``params`` (sizes, processor count,
+  card/network names, RNG seed).  Identity is the canonical JSON of
+  ``(kind, params)``; the display ``name`` is not part of identity, so
+  two figures that share a baseline point share one computation.
+* **Parallel execution** — cache misses fan out across worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`, ``--jobs N``,
+  default ``os.cpu_count()``).  Each point seeds its own RNG from its
+  spec, so parallel output is bit-identical to serial.
+* **Content-addressed cache** — completed points are memoized in
+  ``.sweep-cache/<sha256(spec + salt)>.json``.  The salt is a
+  fingerprint of the source files the runner family depends on (plus
+  :data:`ENGINE_VERSION`), so touching a model recomputes exactly the
+  affected points and nothing else.
+
+The perf-regression suite (``--suite perf``) and the figure suite
+(:mod:`repro.bench.figures`) both route through this engine::
+
+    python -m repro.bench.sweep --suite perf --jobs 2 --check
+    python -m repro.bench.figures --scale paper --jobs 8 --csv results
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Optional
+
+from ..errors import ApplicationError
+
+__all__ = [
+    "ENGINE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "PointSpec",
+    "PointResult",
+    "SweepStats",
+    "SweepEngine",
+    "runner",
+    "kind_salt",
+    "canonical_json",
+    "perf_points",
+    "build_report",
+    "write_report",
+    "main",
+]
+
+#: default on-disk cache location (git-ignored)
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+#: bumped on semantic changes to the runners themselves; folded into the
+#: cache salt alongside the per-family source fingerprint.
+ENGINE_VERSION = "1"
+
+#: cache file schema version
+_SCHEMA = 1
+
+
+class SweepError(ApplicationError):
+    """A sweep-engine failure (bad spec, nondeterministic point, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing
+# ---------------------------------------------------------------------------
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace.  Raises
+    :class:`SweepError` for values JSON cannot represent."""
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SweepError(f"spec is not JSON-serializable: {exc}") from exc
+
+
+@dataclass(frozen=True, eq=False)
+class PointSpec:
+    """One sweep point: a runner ``kind`` and its JSON-safe ``params``.
+
+    ``name`` is the human/report label; it is *excluded* from identity
+    so relabeling never invalidates the cache and shared baselines
+    (e.g. the P=1 serial run every speedup curve divides by) are
+    computed once.
+    """
+
+    kind: str
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _RUNNERS:
+            raise SweepError(
+                f"unknown point kind {self.kind!r}; have {sorted(_RUNNERS)}"
+            )
+        canonical_json(self.params)  # fail fast on unserializable params
+
+    @property
+    def identity(self) -> dict:
+        return {"kind": self.kind, "params": self.params}
+
+    @property
+    def spec_hash(self) -> str:
+        """sha256 of the canonical identity (salt-free)."""
+        return hashlib.sha256(
+            canonical_json(self.identity).encode("utf-8")
+        ).hexdigest()
+
+    def cache_key(self, salt: str) -> str:
+        """Content address: sha256 over identity *and* the model-version
+        salt, so stale results can never be served after code changes."""
+        doc = {"identity": self.identity, "salt": salt}
+        return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointSpec) and self.identity == other.identity
+
+    def __hash__(self) -> int:
+        return hash((self.kind, canonical_json(self.params)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PointSpec {self.name} kind={self.kind} {self.spec_hash[:12]}>"
+
+
+@dataclass
+class PointResult:
+    """Outcome of one point: the runner's payload plus measurement."""
+
+    spec: PointSpec
+    value: dict
+    wall_seconds: float
+    repeats: int
+    cached: bool
+
+    @property
+    def events(self) -> int:
+        return int(self.value.get("events", 0))
+
+
+@dataclass
+class SweepStats:
+    """What one :meth:`SweepEngine.run` call did."""
+
+    points: int = 0
+    unique: int = 0
+    hits: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.unique if self.unique else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Runner registry
+# ---------------------------------------------------------------------------
+_RUNNERS: dict[str, Callable[[dict], dict]] = {}
+_KIND_FAMILY: dict[str, str] = {}
+
+#: source layers each runner family depends on.  The sha256 of those
+#: files is the model-version salt: touch the sort model and every DES
+#: and analytic point recomputes; touch only this module's CLI and
+#: nothing does.
+_FAMILY_DEPS: dict[str, tuple[str, ...]] = {
+    "des": (
+        "repro.sim",
+        "repro.hw",
+        "repro.net",
+        "repro.protocols",
+        "repro.inic",
+        "repro.cluster",
+        "repro.apps",
+        "repro.core",
+        "repro.models",
+        "repro.units",
+        "repro.errors",
+    ),
+    "analytic": (
+        "repro.models",
+        "repro.hw",
+        "repro.cluster",
+        "repro.units",
+        "repro.errors",
+    ),
+}
+
+
+def runner(kind: str, family: str) -> Callable:
+    """Register a point runner: ``fn(params dict) -> result dict``."""
+    if family not in _FAMILY_DEPS:
+        raise SweepError(f"unknown runner family {family!r}")
+
+    def register(fn: Callable[[dict], dict]) -> Callable[[dict], dict]:
+        _RUNNERS[kind] = fn
+        _KIND_FAMILY[kind] = family
+        return fn
+
+    return register
+
+
+@lru_cache(maxsize=None)
+def _module_files(module_name: str) -> tuple[str, ...]:
+    import importlib
+
+    mod = importlib.import_module(module_name)
+    paths = getattr(mod, "__path__", None)
+    if paths:  # package: every .py underneath, sorted for determinism
+        files: list[str] = []
+        for root in paths:
+            for dirpath, dirnames, filenames in os.walk(root):
+                dirnames.sort()
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                )
+        return tuple(files)
+    return (mod.__file__,) if getattr(mod, "__file__", None) else ()
+
+
+@lru_cache(maxsize=None)
+def _family_fingerprint(family: str) -> str:
+    h = hashlib.sha256()
+    for module_name in _FAMILY_DEPS[family]:
+        for path in _module_files(module_name):
+            h.update(os.path.basename(path).encode("utf-8"))
+            with open(path, "rb") as fh:
+                h.update(fh.read())
+    return h.hexdigest()
+
+
+def kind_salt(kind: str) -> str:
+    """The model-version salt for a point kind."""
+    family = _KIND_FAMILY.get(kind)
+    if family is None:
+        raise SweepError(f"unknown point kind {kind!r}")
+    return f"{ENGINE_VERSION}:{family}:{_family_fingerprint(family)}"
+
+
+# ---------------------------------------------------------------------------
+# Point runners
+# ---------------------------------------------------------------------------
+def _card(name: Optional[str]):
+    if name is None:
+        return None
+    from ..inic.card import ACEII_PROTOTYPE, IDEAL_INIC
+
+    cards = {c.name: c for c in (ACEII_PROTOTYPE, IDEAL_INIC)}
+    try:
+        return cards[name]
+    except KeyError:
+        raise SweepError(f"unknown card {name!r}; have {sorted(cards)}") from None
+
+
+def _network(name: str):
+    from ..net.fabric import FAST_ETHERNET, GIGABIT_ETHERNET
+
+    nets = {n.name: n for n in (FAST_ETHERNET, GIGABIT_ETHERNET)}
+    try:
+        return nets[name]
+    except KeyError:
+        raise SweepError(f"unknown network {name!r}; have {sorted(nets)}") from None
+
+
+@lru_cache(maxsize=1)
+def _hierarchy():
+    from ..cluster.builder import athlon_node
+
+    return athlon_node().hierarchy()
+
+
+def _machine_params(d: Optional[dict]):
+    from ..models.params import DEFAULT_PARAMS, MachineParams
+
+    return DEFAULT_PARAMS if d is None else MachineParams(**d)
+
+
+def machine_params_dict(params) -> Optional[dict]:
+    """``params`` as a spec-embeddable dict (``None`` for the default
+    calibration, keeping specs short and stable in the common case)."""
+    from ..models.params import DEFAULT_PARAMS
+
+    return None if params == DEFAULT_PARAMS else dataclasses.asdict(params)
+
+
+@runner("sort-des", family="des")
+def _run_sort_des(p: dict) -> dict:
+    """One Fig. 8(b)-style DES point: integer sort on ``p`` nodes."""
+    import numpy as np
+
+    from ..apps.sort import baseline_sort, inic_sort
+    from ..cluster.builder import Cluster, ClusterSpec
+    from ..core.api import build_acc
+
+    g = np.random.default_rng(p["seed"])
+    keys = g.integers(0, 2**32, size=p["e_init"], dtype=np.uint32)
+    card = _card(p.get("card"))
+    if card is None:
+        cluster = Cluster.build(ClusterSpec(n_nodes=p["p"]))
+        _, res = baseline_sort(cluster, keys)
+    else:
+        cluster, manager = build_acc(p["p"], card=card)
+        _, res = inic_sort(cluster, manager, keys)
+    return {"makespan": res.makespan, "events": cluster.sim.event_count}
+
+
+@runner("fft-des", family="des")
+def _run_fft_des(p: dict) -> dict:
+    """One Fig. 8(a)-style DES point: 2D FFT on ``p`` nodes."""
+    import numpy as np
+
+    from ..apps.fft import baseline_fft2d, inic_fft2d
+    from ..cluster.builder import Cluster, ClusterSpec
+    from ..core.api import build_acc
+
+    rows = p["rows"]
+    g = np.random.default_rng(p["seed"])
+    m = g.standard_normal((rows, rows)) + 1j * g.standard_normal((rows, rows))
+    network = _network(p["network"])
+    card = _card(p.get("card"))
+    if card is None:
+        cluster = Cluster.build(ClusterSpec(n_nodes=p["p"], network=network))
+        _, res = baseline_fft2d(cluster, m)
+    else:
+        cluster, manager = build_acc(p["p"], card=card, network=network)
+        _, res = inic_fft2d(cluster, manager, m)
+    return {"makespan": res.makespan, "events": cluster.sim.event_count}
+
+
+@runner("fft-analytic", family="analytic")
+def _run_fft_analytic(p: dict) -> dict:
+    """Fig. 4(a) point: serial/INIC/GigE analytic FFT times."""
+    from ..models.fft_model import inic_fft_time, serial_fft_time
+    from ..models.gige_model import gige_fft_time
+
+    mp = _machine_params(p.get("machine"))
+    h = _hierarchy()
+    rows, procs = p["rows"], p["p"]
+    serial = serial_fft_time(rows, h, mp)
+    return {
+        "serial": serial,
+        "inic": serial if procs == 1 else inic_fft_time(rows, procs, h, mp),
+        "gige": gige_fft_time(rows, procs, h, mp),
+    }
+
+
+@runner("transpose-analytic", family="analytic")
+def _run_transpose_analytic(p: dict) -> dict:
+    """Fig. 4(b) point: transpose decomposition at one (rows, P)."""
+    from ..models.fft_model import (
+        fft_compute_total,
+        inic_transpose_time,
+        partition_bytes,
+    )
+    from ..models.gige_model import tcp_alltoall_time
+    from ..units import seconds_to_ms
+
+    mp = _machine_params(p.get("machine"))
+    h = _hierarchy()
+    rows, procs = p["rows"], p["p"]
+    s = partition_bytes(rows, procs, mp)
+    return {
+        "comm_ms": seconds_to_ms(
+            2
+            * tcp_alltoall_time(
+                s, procs, mp.gige_tcp_bulk_rate, mp.gige_tcp_message_overhead
+            )
+        ),
+        "compute_ms": seconds_to_ms(fft_compute_total(rows, procs, h, mp)),
+        "inic_ms": seconds_to_ms(inic_transpose_time(rows, procs, mp)),
+        "partition_kib": s / 1024.0,
+    }
+
+
+@runner("sort-components-analytic", family="analytic")
+def _run_sort_components(p: dict) -> dict:
+    """Fig. 5(a) point: host-side sort phase times at one (E, P)."""
+    from ..models.gige_model import tcp_alltoall_time
+    from ..models.sort_model import sort_component_series
+
+    mp = _machine_params(p.get("machine"))
+    pt = sort_component_series(p["e_init"], [p["p"]], _hierarchy(), mp)[0]
+    return {
+        "count_sort": pt.count_sort_time,
+        "phase1_bucket": pt.phase1_bucket_time,
+        "phase2_bucket": pt.phase2_bucket_time,
+        "communication": tcp_alltoall_time(
+            pt.partition_kib * 1024.0,
+            int(pt.p),
+            mp.gige_tcp_bulk_rate,
+            mp.gige_tcp_message_overhead,
+        ),
+        "partition_kib": pt.partition_kib,
+    }
+
+
+@runner("sort-analytic", family="analytic")
+def _run_sort_analytic(p: dict) -> dict:
+    """Fig. 5(b) point: serial/INIC/GigE analytic sort times."""
+    from ..models.gige_model import gige_sort_time
+    from ..models.sort_model import inic_sort_time, serial_sort_time
+
+    mp = _machine_params(p.get("machine"))
+    h = _hierarchy()
+    e_init, procs = p["e_init"], p["p"]
+    serial = serial_sort_time(e_init, h, mp)
+    return {
+        "serial": serial,
+        "inic": serial if procs == 1 else inic_sort_time(e_init, procs, h, mp),
+        "gige": gige_sort_time(e_init, procs, h, mp),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+def _execute_point(kind: str, params: dict, repeats: int) -> dict:
+    """Worker entry: run one point ``repeats`` times; median wall clock,
+    exact (and verified-identical) simulation output."""
+    fn = _RUNNERS[kind]
+    walls: list[float] = []
+    value: Optional[dict] = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        v = fn(params)
+        walls.append(time.perf_counter() - t0)
+        if value is None:
+            value = v
+        elif v != value:
+            raise SweepError(
+                f"nondeterministic point kind={kind} params={params}: "
+                f"{value} vs {v}"
+            )
+    return {
+        "value": value,
+        "wall_seconds": statistics.median(walls),
+        "repeats": max(1, repeats),
+    }
+
+
+class SweepEngine:
+    """Executes :class:`PointSpec` batches with caching and fan-out.
+
+    :param jobs: worker processes (``None`` → ``os.cpu_count()``;
+        ``1`` runs in-process, still bit-identical).
+    :param cache_dir: on-disk cache location; ``None`` disables caching.
+    :param force: recompute even on cache hit (results are re-written).
+    :param repeats: measurement repeats per executed point
+        (``wall_seconds`` is the median; outputs must be identical).
+    :param salt_override: replaces the per-kind model-version salt —
+        test hook for invalidation behaviour.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+        force: bool = False,
+        repeats: int = 1,
+        salt_override: Optional[str] = None,
+    ):
+        self.jobs = os.cpu_count() or 1 if jobs is None else max(1, jobs)
+        self.cache_dir = cache_dir
+        self.force = force
+        self.repeats = max(1, repeats)
+        self.salt_override = salt_override
+        self.last_run = SweepStats()
+
+    # -- cache ------------------------------------------------------------
+    def _salt(self, spec: PointSpec) -> str:
+        return self.salt_override if self.salt_override is not None else kind_salt(
+            spec.kind
+        )
+
+    def _cache_path(self, spec: PointSpec) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{spec.cache_key(self._salt(spec))}.json")
+
+    def _cache_load(self, spec: PointSpec) -> Optional[PointResult]:
+        path = self._cache_path(spec)
+        if path is None or self.force:
+            return None
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if doc.get("schema") != _SCHEMA or doc.get("identity") != spec.identity:
+            return None  # collision/corruption: treat as miss
+        return PointResult(
+            spec=spec,
+            value=doc["value"],
+            wall_seconds=doc["wall_seconds"],
+            repeats=doc.get("repeats", 1),
+            cached=True,
+        )
+
+    def _cache_store(self, result: PointResult) -> None:
+        path = self._cache_path(result.spec)
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        doc = {
+            "schema": _SCHEMA,
+            "identity": result.spec.identity,
+            "name": result.spec.name,
+            "salt": self._salt(result.spec),
+            "value": result.value,
+            "wall_seconds": result.wall_seconds,
+            "repeats": result.repeats,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see partials
+
+    # -- execution --------------------------------------------------------
+    def run(self, specs: Iterable[PointSpec]) -> dict[str, PointResult]:
+        """Execute (or recall) every spec; returns ``{name: result}`` in
+        input order.  Specs with identical identity are computed once;
+        duplicate *names* for distinct identities are an error."""
+        t_start = time.perf_counter()
+        ordered: list[PointSpec] = []
+        by_hash: dict[str, PointSpec] = {}
+        names: dict[str, str] = {}
+        for spec in specs:
+            h = spec.spec_hash
+            prior = names.get(spec.name)
+            if prior is not None and prior != h:
+                raise SweepError(f"duplicate point name {spec.name!r}")
+            names[spec.name] = h
+            if h not in by_hash:
+                by_hash[h] = spec
+                ordered.append(spec)
+
+        results: dict[str, PointResult] = {}
+        misses: list[PointSpec] = []
+        for spec in ordered:
+            hit = self._cache_load(spec)
+            if hit is not None:
+                results[spec.spec_hash] = hit
+            else:
+                misses.append(spec)
+
+        if misses:
+            if self.jobs > 1 and len(misses) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(misses))
+                ) as pool:
+                    futures = [
+                        pool.submit(_execute_point, s.kind, s.params, self.repeats)
+                        for s in misses
+                    ]
+                    outs = [f.result() for f in futures]
+            else:
+                outs = [
+                    _execute_point(s.kind, s.params, self.repeats) for s in misses
+                ]
+            for spec, out in zip(misses, outs):
+                result = PointResult(
+                    spec=spec,
+                    value=out["value"],
+                    wall_seconds=out["wall_seconds"],
+                    repeats=out["repeats"],
+                    cached=False,
+                )
+                self._cache_store(result)
+                results[spec.spec_hash] = result
+
+        self.last_run = SweepStats(
+            points=len(names),
+            unique=len(ordered),
+            hits=len(ordered) - len(misses),
+            executed=len(misses),
+            wall_seconds=time.perf_counter() - t_start,
+        )
+        # every input name resolves, including aliases of a shared identity
+        return {name: results[h] for name, h in names.items()}
+
+
+# ---------------------------------------------------------------------------
+# Suites and reports
+# ---------------------------------------------------------------------------
+def perf_points(scale) -> list[PointSpec]:
+    """The perf-regression scenario suite: the Fig. 8(b) integer-sort
+    sweep over the TCP/GigE baseline and the prototype INIC."""
+    procs = [p for p in scale.sort_procs if scale.sort_keys % p == 0]
+    specs = [
+        PointSpec(
+            "sort-des",
+            f"sort-gige-p{p}",
+            {"e_init": scale.sort_keys, "p": p, "card": None, "seed": 2},
+        )
+        for p in procs
+    ]
+    specs += [
+        PointSpec(
+            "sort-des",
+            f"sort-inic-p{p}",
+            {"e_init": scale.sort_keys, "p": p, "card": "aceii-prototype", "seed": 2},
+        )
+        for p in procs
+        if p > 1
+    ]
+    return specs
+
+
+def build_report(
+    results: dict[str, PointResult], scale_name: str, engine: SweepEngine
+) -> dict[str, Any]:
+    """The engine's JSON report — the single source every perf artifact
+    (``BENCH_perf.json``, the committed reference) is written from."""
+    scenarios = {}
+    for name, r in results.items():
+        entry: dict[str, Any] = {
+            "events": r.events,
+            "wall_seconds": round(r.wall_seconds, 4),
+            "cached": r.cached,
+        }
+        if "makespan" in r.value:
+            entry["makespan"] = r.value["makespan"]
+        scenarios[name] = entry
+    stats = engine.last_run
+    return {
+        "scale": scale_name,
+        "jobs": engine.jobs,
+        "repeats": engine.repeats,
+        "cache": {
+            "hits": stats.hits,
+            "executed": stats.executed,
+            "hit_rate": round(stats.hit_rate, 4),
+        },
+        "total_events": sum(s["events"] for s in scenarios.values()),
+        "total_wall_seconds": round(
+            sum(s["wall_seconds"] for s in scenarios.values()), 4
+        ),
+        "sweep_wall_seconds": round(stats.wall_seconds, 4),
+        "scenarios": scenarios,
+    }
+
+
+def write_report(doc: dict[str, Any], path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    from .harness import Scale
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.sweep", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--suite", default="perf", choices=["perf", "figures"],
+        help="perf: the regression scenario suite; figures: every paper panel",
+    )
+    parser.add_argument("--scale", default="ci", choices=["ci", "bench", "paper"])
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="wall-clock repeats per executed point (median recorded)",
+    )
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk cache"
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="recompute every point even when cached",
+    )
+    parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument(
+        "--csv", default=None,
+        help="(figures suite) export per-figure CSVs to this directory",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="(perf suite) fail if event counts regress vs the reference",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument(
+        "--reference", default=os.path.join("benchmarks", "perf_reference.json")
+    )
+    parser.add_argument("--update-reference", action="store_true")
+    parser.add_argument(
+        "--assert-cache-hits", type=float, default=None, metavar="FRACTION",
+        help="fail unless at least this fraction of points were cache hits",
+    )
+    args = parser.parse_args(argv)
+
+    scale = Scale.by_name(args.scale)
+    engine = SweepEngine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        force=args.force,
+        repeats=args.repeats,
+    )
+
+    if args.suite == "figures":
+        from .figures import all_figures
+        from .harness import render_all
+
+        experiments = all_figures(scale, engine=engine)
+        print(render_all(experiments))
+        if args.csv:
+            from .export import export_all_csv
+
+            for path in export_all_csv(experiments, args.csv):
+                print(f"wrote {path}")
+        stats = engine.last_run  # all_figures runs one batched sweep
+        print(
+            f"sweep: {stats.unique} points, {stats.hits} cached, "
+            f"{stats.executed} executed, jobs={engine.jobs}, "
+            f"{stats.wall_seconds:.2f}s"
+        )
+    else:
+        results = engine.run(perf_points(scale))
+        doc = build_report(results, scale.name, engine)
+        write_report(doc, args.out)
+        for name, r in doc["scenarios"].items():
+            tag = "cached" if r["cached"] else f"{r['wall_seconds']:.3f}s"
+            print(
+                f"{name:16s} events={r['events']:>8d} "
+                f"makespan={r['makespan']:.6f} wall={tag}"
+            )
+        print(
+            f"{'TOTAL':16s} events={doc['total_events']:>8d} "
+            f"wall={doc['total_wall_seconds']:.3f}s "
+            f"(sweep {doc['sweep_wall_seconds']:.3f}s, jobs={doc['jobs']}) "
+            f"-> {args.out}"
+        )
+
+        if args.update_reference:
+            write_report(doc, args.reference)
+            print(f"reference updated: {args.reference}")
+
+        if args.check:
+            from .perf import compare
+
+            try:
+                with open(args.reference) as fh:
+                    reference = json.load(fh)
+            except FileNotFoundError:
+                print(f"no reference at {args.reference}; run --update-reference")
+                return 1
+            failures = compare(doc, reference, args.tolerance)
+            if failures:
+                for f in failures:
+                    print(f"FAIL {f}")
+                return 1
+            print(
+                f"PASS all {len(reference['scenarios'])} scenarios within "
+                f"{args.tolerance * 100:.0f}% of reference event counts"
+            )
+
+    if args.assert_cache_hits is not None:
+        rate = engine.last_run.hit_rate
+        if rate < args.assert_cache_hits:
+            print(
+                f"FAIL cache hit rate {rate:.0%} < "
+                f"required {args.assert_cache_hits:.0%}"
+            )
+            return 1
+        print(f"PASS cache hit rate {rate:.0%}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    import sys
+
+    sys.exit(main())

@@ -14,7 +14,21 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["derive_seed", "RandomStreams"]
+
+
+def derive_seed(*parts: object) -> int:
+    """A 64-bit seed derived (sha256) from any sequence of parts.
+
+    The standalone form of :meth:`RandomStreams._derive`, shared with
+    the sweep engine: a point spec hashed through here gives each sweep
+    point its own deterministic stream, independent of which worker
+    process runs it or in what order.
+    """
+    digest = hashlib.sha256(
+        ":".join(str(p) for p in parts).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
 
 
 class RandomStreams:
@@ -27,10 +41,7 @@ class RandomStreams:
         self._cache: dict[str, np.random.Generator] = {}
 
     def _derive(self, name: str) -> int:
-        digest = hashlib.sha256(
-            f"{self.root_seed}:{name}".encode("utf-8")
-        ).digest()
-        return int.from_bytes(digest[:8], "little")
+        return derive_seed(self.root_seed, name)
 
     def stream(self, name: str) -> np.random.Generator:
         """The generator for ``name`` (created on first use, then cached)."""

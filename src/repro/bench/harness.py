@@ -30,6 +30,9 @@ class Scale:
     fft_procs: tuple[int, ...]
     sort_keys: int
     sort_procs: tuple[int, ...]
+    #: link loss rates swept by the fault-injection suite (the
+    #: makespan-vs-loss-rate curve); 0.0 is the ideal-fabric anchor
+    loss_rates: tuple[float, ...] = (0.0, 0.001, 0.01)
 
     @classmethod
     def paper(cls) -> "Scale":

@@ -53,6 +53,7 @@ __all__ = [
     "kind_salt",
     "canonical_json",
     "perf_points",
+    "fault_points",
     "build_report",
     "write_report",
     "main",
@@ -295,48 +296,238 @@ def machine_params_dict(params) -> Optional[dict]:
     return None if params == DEFAULT_PARAMS else dataclasses.asdict(params)
 
 
+def _fault_spec(p: dict):
+    """The point's fault scenario (``None`` when the params carry no
+    ``faults`` block — the common, bit-identical-to-history case)."""
+    from ..faults import FaultSpec
+
+    spec = FaultSpec.from_params(p.get("faults"))
+    return spec if spec.enabled else None
+
+
+def _recovery_card(card, retries: int):
+    """Card spec with NACK/retransmit recovery enabled (``retries`` > 0)."""
+    if card is None or retries <= 0:
+        return card
+    return dataclasses.replace(
+        card, proto=dataclasses.replace(card.proto, max_retries=retries)
+    )
+
+
+def _robustness_counters(cluster, manager=None) -> dict:
+    """Cluster-wide fault/recovery counters, JSON-safe (satellite of the
+    fault-injection work: every fault point reports these)."""
+    out: dict[str, float | int] = {
+        "frames_dropped": 0,
+        "frames_corrupted": 0,
+        "bytes_dropped": 0.0,
+    }
+    if cluster.fault_plan is not None:
+        out.update(cluster.fault_plan.link_counters())
+    out["switch_dropped_frames"] = int(cluster.switch.total_dropped())
+    out["switch_dropped_bytes"] = float(cluster.switch.total_dropped_bytes())
+    rx_drops = 0
+    rx_drop_bytes = 0.0
+    retransmits = nacks = aborts = config_failures = 0
+    retransmitted_bytes = 0.0
+    for node in cluster.nodes:
+        if node.nic is not None:
+            rx_drops += node.nic.stats.rx_ring_drops
+            rx_drop_bytes += node.nic.stats.rx_ring_drop_bytes
+        if node.inic is not None:
+            s = node.inic.stats
+            retransmits += s.retransmits
+            retransmitted_bytes += s.retransmitted_bytes
+            nacks += s.nacks_sent
+            aborts += s.transfer_aborts
+            config_failures += node.inic.fabric.config_failures
+    out.update(
+        rx_ring_drops=rx_drops,
+        rx_ring_drop_bytes=float(rx_drop_bytes),
+        retransmits=retransmits,
+        retransmitted_bytes=float(retransmitted_bytes),
+        nacks_sent=nacks,
+        transfer_aborts=aborts,
+        config_failures=config_failures,
+    )
+    return out
+
+
+def _merge_counters(a: dict, b: dict) -> dict:
+    return {k: a.get(k, 0) + b.get(k, 0) for k in {*a, *b}}
+
+
+def _fallback_faults(faults):
+    """The fault spec a degraded host-TCP run inherits: resource-pressure
+    dimensions carry over, link-fault dimensions do not — the simplified
+    TCP model stands for a transport that recovers losses internally, so
+    injecting raw frame loss under it would model the wrong failure."""
+    import dataclasses as dc
+
+    fb = dc.replace(faults, loss_rate=0.0, corrupt_rate=0.0, outages=())
+    return fb if fb.enabled else None
+
+
 @runner("sort-des", family="des")
 def _run_sort_des(p: dict) -> dict:
-    """One Fig. 8(b)-style DES point: integer sort on ``p`` nodes."""
+    """One Fig. 8(b)-style DES point: integer sort on ``p`` nodes.
+
+    With a ``faults`` block in the params the run goes through the
+    fault-injection path: link/switch/ring/config faults are installed,
+    INIC recovery is enabled with ``retries`` NACK rounds, and the
+    result carries robustness counters.  An FPGA configuration failure
+    (after the manager's bounded retries) degrades to the host-TCP
+    baseline — the wasted configuration time and the fallback are both
+    visible in the result.  A transfer that exhausts its retry budget
+    reports ``aborted`` with the deterministic abort-time makespan.
+    """
     import numpy as np
 
     from ..apps.sort import baseline_sort, inic_sort
     from ..cluster.builder import Cluster, ClusterSpec
     from ..core.api import build_acc
+    from ..errors import ConfigurationError, TransferAborted
 
     g = np.random.default_rng(p["seed"])
     keys = g.integers(0, 2**32, size=p["e_init"], dtype=np.uint32)
     card = _card(p.get("card"))
+    faults = _fault_spec(p)
+    if faults is None:
+        if card is None:
+            cluster = Cluster.build(ClusterSpec(n_nodes=p["p"]))
+            _, res = baseline_sort(cluster, keys)
+        else:
+            cluster, manager = build_acc(p["p"], card=card)
+            _, res = inic_sort(cluster, manager, keys)
+        return {"makespan": res.makespan, "events": cluster.sim.event_count}
+
+    retries = int(p.get("retries", 8))
     if card is None:
-        cluster = Cluster.build(ClusterSpec(n_nodes=p["p"]))
+        cluster = Cluster.build(ClusterSpec(n_nodes=p["p"], faults=faults))
         _, res = baseline_sort(cluster, keys)
-    else:
-        cluster, manager = build_acc(p["p"], card=card)
+        return {
+            "makespan": res.makespan,
+            "events": cluster.sim.event_count,
+            "aborted": False,
+            "fallbacks": 0,
+            "faults": _robustness_counters(cluster),
+        }
+    cluster, manager = build_acc(p["p"], card=_recovery_card(card, retries), faults=faults)
+    try:
         _, res = inic_sort(cluster, manager, keys)
-    return {"makespan": res.makespan, "events": cluster.sim.event_count}
+    except ConfigurationError:
+        # Graceful degradation: the INIC bitstream would not load, so the
+        # job runs on the commodity host-TCP path instead.  The failed
+        # cluster's elapsed time (the paid-for load attempts) and events
+        # are charged on top of the baseline run.
+        fb = Cluster.build(
+            ClusterSpec(n_nodes=p["p"], faults=_fallback_faults(faults))
+        )
+        _, res = baseline_sort(fb, keys)
+        return {
+            "makespan": cluster.sim.now + res.makespan,
+            "events": cluster.sim.event_count + fb.sim.event_count,
+            "aborted": False,
+            "fallbacks": 1,
+            "faults": _merge_counters(
+                _robustness_counters(cluster), _robustness_counters(fb)
+            ),
+        }
+    except TransferAborted:
+        return {
+            "makespan": cluster.sim.now,
+            "events": cluster.sim.event_count,
+            "aborted": True,
+            "fallbacks": 0,
+            "faults": _robustness_counters(cluster),
+        }
+    return {
+        "makespan": res.makespan,
+        "events": cluster.sim.event_count,
+        "aborted": False,
+        "fallbacks": 0,
+        "faults": _robustness_counters(cluster),
+    }
 
 
 @runner("fft-des", family="des")
 def _run_fft_des(p: dict) -> dict:
-    """One Fig. 8(a)-style DES point: 2D FFT on ``p`` nodes."""
+    """One Fig. 8(a)-style DES point: 2D FFT on ``p`` nodes.
+
+    Supports the same optional ``faults``/``retries`` params as the sort
+    runner (see :func:`_run_sort_des`).
+    """
     import numpy as np
 
     from ..apps.fft import baseline_fft2d, inic_fft2d
     from ..cluster.builder import Cluster, ClusterSpec
     from ..core.api import build_acc
+    from ..errors import ConfigurationError, TransferAborted
 
     rows = p["rows"]
     g = np.random.default_rng(p["seed"])
     m = g.standard_normal((rows, rows)) + 1j * g.standard_normal((rows, rows))
     network = _network(p["network"])
     card = _card(p.get("card"))
+    faults = _fault_spec(p)
+    if faults is None:
+        if card is None:
+            cluster = Cluster.build(ClusterSpec(n_nodes=p["p"], network=network))
+            _, res = baseline_fft2d(cluster, m)
+        else:
+            cluster, manager = build_acc(p["p"], card=card, network=network)
+            _, res = inic_fft2d(cluster, manager, m)
+        return {"makespan": res.makespan, "events": cluster.sim.event_count}
+
+    retries = int(p.get("retries", 8))
     if card is None:
-        cluster = Cluster.build(ClusterSpec(n_nodes=p["p"], network=network))
+        cluster = Cluster.build(
+            ClusterSpec(n_nodes=p["p"], network=network, faults=faults)
+        )
         _, res = baseline_fft2d(cluster, m)
-    else:
-        cluster, manager = build_acc(p["p"], card=card, network=network)
+        return {
+            "makespan": res.makespan,
+            "events": cluster.sim.event_count,
+            "aborted": False,
+            "fallbacks": 0,
+            "faults": _robustness_counters(cluster),
+        }
+    cluster, manager = build_acc(
+        p["p"], card=_recovery_card(card, retries), network=network, faults=faults
+    )
+    try:
         _, res = inic_fft2d(cluster, manager, m)
-    return {"makespan": res.makespan, "events": cluster.sim.event_count}
+    except ConfigurationError:
+        fb = Cluster.build(
+            ClusterSpec(
+                n_nodes=p["p"], network=network, faults=_fallback_faults(faults)
+            )
+        )
+        _, res = baseline_fft2d(fb, m)
+        return {
+            "makespan": cluster.sim.now + res.makespan,
+            "events": cluster.sim.event_count + fb.sim.event_count,
+            "aborted": False,
+            "fallbacks": 1,
+            "faults": _merge_counters(
+                _robustness_counters(cluster), _robustness_counters(fb)
+            ),
+        }
+    except TransferAborted:
+        return {
+            "makespan": cluster.sim.now,
+            "events": cluster.sim.event_count,
+            "aborted": True,
+            "fallbacks": 0,
+            "faults": _robustness_counters(cluster),
+        }
+    return {
+        "makespan": res.makespan,
+        "events": cluster.sim.event_count,
+        "aborted": False,
+        "fallbacks": 0,
+        "faults": _robustness_counters(cluster),
+    }
 
 
 @runner("fft-analytic", family="analytic")
@@ -619,6 +810,52 @@ def perf_points(scale) -> list[PointSpec]:
     return specs
 
 
+#: NACK/retransmit rounds granted to every fault-suite scenario
+FAULT_SUITE_RETRIES = 8
+#: root seed for the fault suite's derived fault streams
+FAULT_SUITE_SEED = 7
+
+
+def fault_points(scale) -> list[PointSpec]:
+    """The fault-injection suite: the Fig. 8(b)-style INIC sort swept
+    over link loss rates (the makespan-vs-loss-rate curve), plus a
+    forced FPGA-configuration-failure scenario that must degrade to the
+    host-TCP path.  The loss-rate-0 point is the plain INIC point — same
+    identity as the perf suite's, so it shares that cache entry and
+    pins the zero-fault-equivalence property."""
+    from ..faults import FaultSpec
+
+    e_init = scale.sort_keys
+    procs = [q for q in scale.sort_procs if q > 1 and e_init % q == 0]
+    p = max(procs) if procs else 2
+    specs = []
+    for rate in scale.loss_rates:
+        params = {"e_init": e_init, "p": p, "card": "aceii-prototype", "seed": 2}
+        if rate > 0:
+            params["faults"] = FaultSpec(
+                seed=FAULT_SUITE_SEED, loss_rate=rate
+            ).to_params()
+            params["retries"] = FAULT_SUITE_RETRIES
+        specs.append(PointSpec("sort-des", f"sort-faults-loss{rate:g}", params))
+    specs.append(
+        PointSpec(
+            "sort-des",
+            "sort-faults-fpga",
+            {
+                "e_init": e_init,
+                "p": p,
+                "card": "aceii-prototype",
+                "seed": 2,
+                "faults": FaultSpec(
+                    seed=FAULT_SUITE_SEED, config_failure_rate=1.0
+                ).to_params(),
+                "retries": FAULT_SUITE_RETRIES,
+            },
+        )
+    )
+    return specs
+
+
 def build_report(
     results: dict[str, PointResult], scale_name: str, engine: SweepEngine
 ) -> dict[str, Any]:
@@ -633,6 +870,10 @@ def build_report(
         }
         if "makespan" in r.value:
             entry["makespan"] = r.value["makespan"]
+        # fault-scenario points also surface their robustness counters
+        for key in ("faults", "aborted", "fallbacks"):
+            if key in r.value:
+                entry[key] = r.value[key]
         scenarios[name] = entry
     stats = engine.last_run
     return {
@@ -674,8 +915,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         prog="python -m repro.bench.sweep", description=__doc__.splitlines()[0]
     )
     parser.add_argument(
-        "--suite", default="perf", choices=["perf", "figures"],
-        help="perf: the regression scenario suite; figures: every paper panel",
+        "--suite", default="perf", choices=["perf", "figures", "faults"],
+        help="perf: the regression scenario suite; figures: every paper "
+        "panel; faults: seeded lossy/degraded scenarios with recovery",
     )
     parser.add_argument("--scale", default="ci", choices=["ci", "bench", "paper"])
     parser.add_argument(
@@ -740,14 +982,24 @@ def main(argv: Optional[list[str]] = None) -> int:
             f"{stats.wall_seconds:.2f}s"
         )
     else:
-        results = engine.run(perf_points(scale))
+        points = fault_points(scale) if args.suite == "faults" else perf_points(scale)
+        results = engine.run(points)
         doc = build_report(results, scale.name, engine)
         write_report(doc, args.out)
         for name, r in doc["scenarios"].items():
             tag = "cached" if r["cached"] else f"{r['wall_seconds']:.3f}s"
+            extra = ""
+            if "faults" in r:
+                f = r["faults"]
+                extra = (
+                    f" dropped={f['frames_dropped']}"
+                    f" retx={f['retransmits']}"
+                    f" fallbacks={r['fallbacks']}"
+                    f" aborted={r['aborted']}"
+                )
             print(
-                f"{name:16s} events={r['events']:>8d} "
-                f"makespan={r['makespan']:.6f} wall={tag}"
+                f"{name:22s} events={r['events']:>8d} "
+                f"makespan={r['makespan']:.6f} wall={tag}{extra}"
             )
         print(
             f"{'TOTAL':16s} events={doc['total_events']:>8d} "
@@ -759,6 +1011,31 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.update_reference:
             write_report(doc, args.reference)
             print(f"reference updated: {args.reference}")
+
+        if args.check and args.suite == "faults":
+            failures = []
+            fpga = doc["scenarios"].get("sort-faults-fpga")
+            if fpga is not None and fpga.get("fallbacks") != 1:
+                failures.append(
+                    "sort-faults-fpga: expected exactly one host-TCP fallback"
+                )
+            for name, r in doc["scenarios"].items():
+                f = r.get("faults")
+                if (
+                    f
+                    and f["frames_dropped"] > 0
+                    and f["retransmits"] == 0
+                    and not r.get("aborted")
+                ):
+                    failures.append(
+                        f"{name}: frames were dropped but no recovery ran"
+                    )
+            if failures:
+                for msg in failures:
+                    print(f"FAIL {msg}")
+                return 1
+            print(f"PASS fault suite: {len(doc['scenarios'])} scenarios")
+            return 0
 
         if args.check:
             from .perf import compare

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..faults import FaultPlan, FaultSpec
 from ..hw.cpu import CPU
 from ..hw.interrupts import CoalescePolicy
 from ..hw.memory import CacheLevel, MemoryHierarchy
@@ -78,6 +79,9 @@ class ClusterSpec:
     tcp: TCPConfig = field(default_factory=TCPConfig)
     inic: Optional[CardSpec] = None  # None: standard NICs + TCP
     seed: int = 0x5EED
+    #: fault-injection scenario; ``None`` (or an all-default spec) keeps
+    #: the ideal fabric with zero extra hooks installed
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -85,6 +89,9 @@ class ClusterSpec:
 
     def with_inic(self, card: CardSpec = IDEAL_INIC) -> "ClusterSpec":
         return replace(self, inic=card)
+
+    def with_faults(self, faults: FaultSpec) -> "ClusterSpec":
+        return replace(self, faults=faults)
 
 
 class Cluster:
@@ -98,6 +105,7 @@ class Cluster:
         switch: Switch,
         trace: TraceRecorder,
         streams: RandomStreams,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.spec = spec
         self.sim = sim
@@ -105,6 +113,9 @@ class Cluster:
         self.switch = switch
         self.trace = trace
         self.streams = streams
+        #: the scenario's fault injectors (``None`` on an ideal fabric);
+        #: runners read its counters and realized schedule after a run
+        self.fault_plan = fault_plan
 
     @property
     def size(self) -> int:
@@ -115,6 +126,9 @@ class Cluster:
         sim = Simulator()
         trace = TraceRecorder(sim)
         streams = RandomStreams(spec.seed)
+        plan: Optional[FaultPlan] = None
+        if spec.faults is not None and spec.faults.enabled:
+            plan = FaultPlan(spec.faults)
         nodes: list[Node] = []
         stations = []
         for rank in range(spec.n_nodes):
@@ -130,6 +144,9 @@ class Cluster:
             pci = pci_32_33(sim, name=f"pci{rank}")
             nic = tcp = inic = None
             if spec.inic is None:
+                nic_kwargs = {}
+                if plan is not None:
+                    nic_kwargs["rx_ring"] = plan.rx_ring_depth(256)
                 nic = StandardNIC(
                     sim,
                     address=NodeAddr(rank),
@@ -137,6 +154,7 @@ class Cluster:
                     cpu=cpu,
                     coalesce=hw.coalesce,
                     name=f"nic{rank}",
+                    **nic_kwargs,
                 )
                 tcp = TCPStack(sim, nic, cpu, config=spec.tcp, name=f"tcp{rank}")
                 stations.append((nic.address, nic))
@@ -148,10 +166,16 @@ class Cluster:
                     cpu=cpu,
                     name=f"inic{rank}",
                 )
+                if plan is not None:
+                    inic.fabric.install_config_fault(
+                        lambda attempt, _name=inic.name: plan.config_attempt_fails(
+                            _name, attempt
+                        )
+                    )
                 stations.append((inic.address, inic))
             nodes.append(Node(sim, rank, cpu, pci, nic=nic, tcp=tcp, inic=inic))
-        switch = build_star(sim, stations, tech=spec.network)
-        return cls(spec, sim, nodes, switch, trace, streams)
+        switch = build_star(sim, stations, tech=spec.network, faults=plan)
+        return cls(spec, sim, nodes, switch, trace, streams, fault_plan=plan)
 
     def run(self, until=None, max_events=None):
         return self.sim.run(until=until, max_events=max_events)

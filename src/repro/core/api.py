@@ -14,7 +14,10 @@ and the matched baseline::
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..cluster.builder import Cluster, ClusterSpec
+from ..faults import FaultSpec
 from ..inic.card import CardSpec, IDEAL_INIC
 from ..net.fabric import GIGABIT_ETHERNET, NetworkTechnology
 from .manager import INICManager
@@ -27,11 +30,13 @@ def build_acc(
     card: CardSpec = IDEAL_INIC,
     network: NetworkTechnology = GIGABIT_ETHERNET,
     seed: int = 0x5EED,
+    faults: Optional[FaultSpec] = None,
 ) -> tuple[Cluster, INICManager]:
     """Build an Adaptable Computing Cluster: every node carries an INIC."""
-    cluster = Cluster.build(
-        ClusterSpec(n_nodes=n_nodes, network=network, seed=seed).with_inic(card)
-    )
+    spec = ClusterSpec(n_nodes=n_nodes, network=network, seed=seed).with_inic(card)
+    if faults is not None:
+        spec = spec.with_faults(faults)
+    cluster = Cluster.build(spec)
     return cluster, INICManager(cluster)
 
 
@@ -39,6 +44,10 @@ def build_beowulf(
     n_nodes: int,
     network: NetworkTechnology = GIGABIT_ETHERNET,
     seed: int = 0x5EED,
+    faults: Optional[FaultSpec] = None,
 ) -> Cluster:
     """Build the commodity baseline: standard NICs + TCP."""
-    return Cluster.build(ClusterSpec(n_nodes=n_nodes, network=network, seed=seed))
+    spec = ClusterSpec(n_nodes=n_nodes, network=network, seed=seed)
+    if faults is not None:
+        spec = spec.with_faults(faults)
+    return Cluster.build(spec)

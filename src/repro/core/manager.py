@@ -37,10 +37,21 @@ class INICManager:
     def driver(self, rank: int) -> HostDriver:
         return self.drivers[rank]
 
-    def configure_all(self, design_factory: Callable[[], Design]) -> float:
+    def configure_all(
+        self, design_factory: Callable[[], Design], max_attempts: int = 2
+    ) -> float:
         """Configure every card (fresh design instance per card, since
         cores carry per-card statistics).  Runs the loads in parallel and
-        returns the elapsed configuration time."""
+        returns the elapsed configuration time.
+
+        A bitstream load that fails readback (only possible under an
+        injected configuration fault) is retried up to ``max_attempts``
+        times per card — each attempt paying the full reconfiguration
+        latency — before :class:`~repro.errors.ConfigurationError`
+        escapes to the caller, who may degrade to the host-TCP path.
+        """
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
         sim = self.cluster.sim
         t0 = sim.now
         procs = []
@@ -49,7 +60,13 @@ class INICManager:
             validate_mode_cores(design.mode, [c.spec.name for c in design.cores])
 
             def load(card=node.require_inic(), d=design):
-                yield from card.configure(d)
+                for attempt in range(max_attempts):
+                    try:
+                        yield from card.configure(d)
+                        return
+                    except ConfigurationError:
+                        if attempt + 1 >= max_attempts:
+                            raise
 
             procs.append(sim.process(load(), name=f"cfg.{node.rank}"))
         sim.run(until=sim.all_of(procs))
@@ -59,6 +76,12 @@ class INICManager:
         """Total bitstream loads across the cluster so far."""
         return sum(
             node.require_inic().fabric.configurations for node in self.cluster.nodes
+        )
+
+    def config_failures(self) -> int:
+        """Total failed bitstream-load attempts across the cluster."""
+        return sum(
+            node.require_inic().fabric.config_failures for node in self.cluster.nodes
         )
 
     def total_completion_interrupts(self) -> int:

@@ -107,6 +107,11 @@ class OffloadError(INICError):
     """Runtime failure in an offloaded operation."""
 
 
+# --- fault injection -----------------------------------------------------------
+class FaultConfigError(ReproError):
+    """Invalid fault-injection specification (bad rate, window, scale)."""
+
+
 # --- applications / harness ---------------------------------------------------
 class ApplicationError(ReproError):
     """Base class for application-level errors (FFT, sort)."""

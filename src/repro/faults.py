@@ -1,0 +1,260 @@
+"""Deterministic fault injection for the simulated fabric.
+
+The paper's application-specific protocol (Section 4.1) assumes a
+loss-free fabric *by construction*.  Real deployments do not get that
+luxury: links take bit errors, switches tail-drop under pressure, NIC
+RX rings overflow, and FPGA bitstream loads fail.  This module lets a
+scenario schedule exactly those faults — **deterministically** — so the
+recovery machinery (NACK-driven retransmission in the protocols, the
+INIC→host-TCP fallback) can be exercised and measured.
+
+Design rules
+------------
+* A :class:`FaultSpec` is frozen and JSON-safe, so it can ride inside a
+  :class:`~repro.bench.sweep.PointSpec`'s params and participate in the
+  sweep engine's content-addressed caching.
+* Every stochastic decision draws from a stream derived by
+  :func:`repro.sim.rand.derive_seed` over ``(seed, component kind,
+  component name)``.  Streams are per-component and draws happen in
+  simulation-event order, so a run is bit-identical no matter how many
+  ``--jobs`` workers the sweep fans out over, and adding a faulty
+  component never perturbs the draws of another.
+* A spec with every field at its default (:data:`NO_FAULTS`) must be
+  indistinguishable from no fault plan at all: injectors are only
+  installed where a fault dimension is active, so zero-fault runs stay
+  bit-identical to pre-fault-subsystem output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from fnmatch import fnmatch
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from .errors import FaultConfigError
+from .sim.rand import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .net.packet import Frame
+
+__all__ = [
+    "FaultSpec",
+    "NO_FAULTS",
+    "WireFault",
+    "FaultPlan",
+    "DELIVER",
+    "DROP",
+    "CORRUPT",
+]
+
+#: wire-fault dispositions
+DELIVER = "deliver"
+#: the frame vanishes before serialization (cable pull, outage)
+DROP = "drop"
+#: the frame burns wire time but fails CRC at the sink (bit error)
+CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scenario's fault schedule, as sweep-able plain data.
+
+    All probabilities are per *wire transfer* — at CHUNK fidelity one
+    transfer may stand for a train of ``frame_count`` physical frames,
+    and a hit takes the whole train (a burst loss, which is also what
+    tail drops and outages produce in practice).
+    """
+
+    #: root seed for every derived fault stream
+    seed: int = 0
+    #: per-transfer probability a matching wire silently drops the train
+    loss_rate: float = 0.0
+    #: per-transfer probability of frame corruption: the train occupies
+    #: the wire but is discarded by the receiver's CRC check
+    corrupt_rate: float = 0.0
+    #: transient link outages: ``(start_s, duration_s)`` windows during
+    #: which every matching wire drops everything it is handed
+    outages: tuple[tuple[float, float], ...] = ()
+    #: fnmatch pattern selecting which wires take link faults
+    wires: str = "*"
+    #: multiplier on switch buffer bytes per port (< 1 forces pressure)
+    switch_buffer_scale: float = 1.0
+    #: multiplier on NIC RX descriptor-ring depth (< 1 forces overflow)
+    rx_ring_scale: float = 1.0
+    #: per-attempt probability that an FPGA bitstream load fails
+    config_failure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "corrupt_rate", "config_failure_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise FaultConfigError(f"{name} must be in [0, 1], got {v}")
+        if self.switch_buffer_scale <= 0 or self.rx_ring_scale <= 0:
+            raise FaultConfigError("resource scale factors must be > 0")
+        object.__setattr__(
+            self, "outages", tuple(tuple(float(x) for x in o) for o in self.outages)
+        )
+        for start, duration in self.outages:
+            if start < 0 or duration <= 0:
+                raise FaultConfigError(
+                    f"outage windows need start >= 0 and duration > 0, "
+                    f"got ({start}, {duration})"
+                )
+
+    # -- sweep-spec embedding ----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True if any fault dimension is active."""
+        return self != NO_FAULTS
+
+    @property
+    def link_faults(self) -> bool:
+        return bool(self.loss_rate or self.corrupt_rate or self.outages)
+
+    def to_params(self) -> Optional[dict]:
+        """JSON-safe dict for PointSpec params (``None`` when inactive,
+        so zero-fault specs keep their historical identity and cache)."""
+        if not self.enabled:
+            return None
+        doc = asdict(self)
+        doc["outages"] = [list(o) for o in self.outages]
+        return doc
+
+    @classmethod
+    def from_params(cls, doc: Optional[dict]) -> "FaultSpec":
+        if doc is None:
+            return NO_FAULTS
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise FaultConfigError(f"unknown fault fields {sorted(unknown)}")
+        doc = dict(doc)
+        if "outages" in doc:
+            doc["outages"] = tuple(tuple(o) for o in doc["outages"])
+        return cls(**doc)
+
+
+#: the ideal fabric — every injector hook resolves to "do nothing"
+NO_FAULTS = FaultSpec()
+
+
+class WireFault:
+    """Per-wire link-fault injector (installed via ``Wire.install_fault``).
+
+    Holds its own named random stream, so the decision sequence for one
+    wire is a pure function of ``(spec.seed, wire name)`` — independent
+    of any other wire's traffic and of sweep parallelism.
+    """
+
+    def __init__(self, spec: FaultSpec, wire_name: str):
+        self.spec = spec
+        self.wire_name = wire_name
+        self._rng = np.random.default_rng(derive_seed(spec.seed, "wire", wire_name))
+        # -- statistics ----------------------------------------------------
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
+        self.bytes_dropped = 0.0
+        #: ``(sim_time, disposition, frame_count)`` decision log — the
+        #: "fault schedule" the determinism tests compare across runs
+        self.log: list[tuple[float, str, int]] = []
+
+    def _in_outage(self, now: float) -> bool:
+        return any(start <= now < start + dur for start, dur in self.spec.outages)
+
+    def disposition(self, frame: "Frame", now: float) -> str:
+        """Decide this transfer's fate; updates counters and the log."""
+        spec = self.spec
+        if self._in_outage(now):
+            verdict = DROP
+        elif spec.loss_rate > 0 and self._rng.random() < spec.loss_rate:
+            verdict = DROP
+        elif spec.corrupt_rate > 0 and self._rng.random() < spec.corrupt_rate:
+            verdict = CORRUPT
+        else:
+            return DELIVER
+        if verdict is DROP:
+            self.frames_dropped += frame.frame_count
+        else:
+            self.frames_corrupted += frame.frame_count
+        self.bytes_dropped += frame.wire_size
+        self.log.append((now, verdict, frame.frame_count))
+        return verdict
+
+
+class FaultPlan:
+    """The runtime side of a :class:`FaultSpec`: hands out injectors.
+
+    One plan per built cluster; components ask it for their hook at
+    wiring time.  It keeps every injector it created so scenario runners
+    can aggregate drop/corruption counters afterwards.
+    """
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self._wire_faults: dict[str, WireFault] = {}
+
+    @classmethod
+    def from_params(cls, doc: Optional[dict]) -> Optional["FaultPlan"]:
+        spec = FaultSpec.from_params(doc)
+        return cls(spec) if spec.enabled else None
+
+    # -- component hooks ---------------------------------------------------------
+    def wire_fault(self, wire_name: str) -> Optional[WireFault]:
+        """The injector for ``wire_name`` (``None``: wire stays ideal)."""
+        if not self.spec.link_faults or not fnmatch(wire_name, self.spec.wires):
+            return None
+        wf = self._wire_faults.get(wire_name)
+        if wf is None:
+            wf = WireFault(self.spec, wire_name)
+            self._wire_faults[wire_name] = wf
+        return wf
+
+    def switch_buffer(self, buffer_bytes: float) -> float:
+        """Apply forced buffer pressure to a switch port budget."""
+        return buffer_bytes * self.spec.switch_buffer_scale
+
+    def rx_ring_depth(self, depth: int) -> int:
+        """Apply RX descriptor-ring pressure to a NIC."""
+        return max(1, int(depth * self.spec.rx_ring_scale))
+
+    def config_attempt_fails(self, card_name: str, attempt: int) -> bool:
+        """Does bitstream-load ``attempt`` (0-based) on ``card_name`` fail?
+
+        Drawn from a stream derived per ``(card, attempt)``, so retrying
+        a failed load is a fresh, reproducible draw — not a replay.
+        """
+        rate = self.spec.config_failure_rate
+        if rate <= 0:
+            return False
+        rng = np.random.default_rng(
+            derive_seed(self.spec.seed, "fpga", card_name, attempt)
+        )
+        return bool(rng.random() < rate)
+
+    # -- aggregation -------------------------------------------------------------
+    def link_counters(self) -> dict[str, float | int]:
+        """Cluster-wide link-fault totals (JSON-safe)."""
+        return {
+            "frames_dropped": sum(
+                w.frames_dropped for w in self._wire_faults.values()
+            ),
+            "frames_corrupted": sum(
+                w.frames_corrupted for w in self._wire_faults.values()
+            ),
+            "bytes_dropped": float(
+                sum(w.bytes_dropped for w in self._wire_faults.values())
+            ),
+        }
+
+    def schedule(self) -> dict[str, list[tuple[float, str, int]]]:
+        """The realized fault schedule: per-wire decision logs.
+
+        Two runs of the same scenario must produce identical schedules —
+        the determinism regression test compares these verbatim.
+        """
+        return {name: list(w.log) for name, w in sorted(self._wire_faults.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan seed={self.spec.seed} {len(self._wire_faults)} wires>"

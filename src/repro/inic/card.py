@@ -30,7 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..errors import ConfigurationError, OffloadError
+from ..errors import ConfigurationError, OffloadError, TransferAborted
 from ..hw.cpu import CPU
 from ..hw.pci import DEFAULT_ARBITRATION
 from ..net.addresses import BROADCAST, MacAddress
@@ -169,16 +169,34 @@ class GatherOp:
         self.pending_delivery = 0.0
         self.last_seen_received = -1
         self.stalled_polls = 0
+        # -- loss recovery (active only when the card's protocol config
+        #    enables retries) ------------------------------------------------
+        self.retries = 0
+        self.dedupe_payloads = False
+        self._payload_seen: set[int] = set()
 
     def store_payload(self, src: MacAddress, payload: Any) -> None:
         if payload is None:
             return
+        if self.dedupe_payloads:
+            # A retransmitted final packet racing its late original must
+            # not fold a contribution twice.
+            if src.value in self._payload_seen:
+                return
+            self._payload_seen.add(src.value)
         if self.reduce_core is not None:
             self.accumulator = self.reduce_core.apply(
                 payload, accumulator=self.accumulator
             )
         else:
             self.payloads.setdefault(src.value, []).append(payload)
+
+    def payload_missing(self, peer: int) -> bool:
+        """True if ``peer``'s functional payload has not been stored yet
+        (its ``last``-marked packet was lost) — the NACK asks for it."""
+        if self.dedupe_payloads:
+            return peer not in self._payload_seen
+        return peer not in self.payloads
 
     def result(self) -> Any:
         if self.reduce_core is not None:
@@ -198,6 +216,12 @@ class CardStats:
         self.frames_received = 0
         self.completion_interrupts = 0
         self.peak_memory_bytes = 0.0
+        # -- loss recovery (nonzero only with faults + retries enabled) --
+        self.nacks_sent = 0
+        self.nacks_received = 0
+        self.retransmits = 0
+        self.retransmitted_bytes = 0.0
+        self.transfer_aborts = 0
 
 
 class INICCard:
@@ -263,6 +287,9 @@ class INICCard:
         #: per-destination unacknowledged bytes (flow control)
         self._outstanding: dict[int, float] = {}
         self._credit_wakeups: dict[int, Event] = {}
+        #: (tag, dst) -> (block, window) retained to serve NACK-driven
+        #: retransmits; populated only when ``proto.max_retries > 0``
+        self._sent_blocks: dict[tuple[int, int], tuple[SendBlock, Optional[int]]] = {}
 
         sim.process(self._ingest_loop(), name=f"{name}.ingest")
         sim.process(self._egress_loop(), name=f"{name}.egress")
@@ -306,7 +333,42 @@ class INICCard:
             if wake is not None:
                 wake.succeed(None)
             return
+        if frame.kind == "inic-nack":
+            self._handle_nack(frame)
+            return
         self._rx_q.put(frame)
+
+    def _handle_nack(self, frame: Frame) -> None:
+        """A receiver reports ``missing`` undelivered bytes for one of our
+        scatter tags: resync the flow window (lost frames never returned
+        credits) and re-issue the missing range from the retained block."""
+        peer = frame.src.value
+        tag = frame.meta["op"]
+        missing = frame.meta["missing"]
+        self.stats.nacks_received += 1
+        self._outstanding[peer] = max(
+            0.0, self._outstanding.get(peer, 0.0) - missing
+        )
+        wake = self._credit_wakeups.pop(peer, None)
+        if wake is not None:
+            wake.succeed(None)
+        retained = self._sent_blocks.get((tag, peer))
+        if retained is None:
+            # Nothing to resend: we never scattered to this peer under
+            # this tag (the plan was wrong) or retention is off.  The
+            # receiver's retry budget bounds how long it keeps asking.
+            return
+        block, window = retained
+        nbytes = min(missing, block.nbytes)
+        if nbytes < 1:
+            return
+        data = block.data if frame.meta.get("need_payload") else None
+        self.stats.retransmits += 1
+        self.stats.retransmitted_bytes += nbytes
+        retry = ScatterOp(
+            self.sim, tag, [SendBlock(block.dst, nbytes, data)], window
+        )
+        self._scatter_q.put(retry)
 
     # -- operation posting ---------------------------------------------------------------
     def post_scatter(
@@ -324,6 +386,12 @@ class INICCard:
         if not blocks:
             raise OffloadError("scatter with no blocks")
         op = ScatterOp(self.sim, tag, blocks, window_bytes)
+        if self.spec.proto.max_retries > 0:
+            # Retain each destination's block so a NACK can be served.
+            # Recovery assumes one block per (tag, destination), which is
+            # how every collective in this repo shapes its scatters.
+            for block in blocks:
+                self._sent_blocks[(tag, block.dst.value)] = (block, window_bytes)
         self._scatter_q.put(op)
         return op
 
@@ -338,6 +406,12 @@ class INICCard:
         if tag in self._gathers:
             raise OffloadError(f"gather tag {tag} already active")
         op = GatherOp(self.sim, tag, plan, assemble, reduce_core)
+        if self.spec.proto.max_retries > 0:
+            # Recovery mode: a retransmission racing its late original may
+            # over-deliver — clamp instead of treating it as a protocol
+            # violation, and fold each peer's payload at most once.
+            plan.tolerate_surplus = True
+            op.dedupe_payloads = True
         self._gathers[tag] = op
         self.sim.process(self._gather_watch(op), name=f"{self.name}.gw{tag}")
         # Replay frames that arrived before the gather was posted.
@@ -508,8 +582,17 @@ class INICCard:
 
     def _gather_watch(self, op: GatherOp):
         """Deliver card->host in DMA-threshold granules; finish with a
-        single completion interrupt."""
+        single completion interrupt.
+
+        With ``proto.max_retries > 0`` the watch doubles as the loss
+        detector: a plan that stops progressing for the (exponentially
+        backed-off) NACK timeout triggers a NACK round asking each
+        incomplete peer to re-issue its missing bytes; after the retry
+        budget is spent the gather fails with
+        :class:`~repro.errors.TransferAborted`.
+        """
         threshold = float(self.spec.dma_threshold)
+        proto = self.spec.proto
         plan_done = op.plan.complete
         while True:
             if op.pending_delivery >= threshold:
@@ -524,7 +607,28 @@ class INICCard:
                 received = op.plan.total_received()
                 if received == op.last_seen_received:
                     op.stalled_polls += 1
-                    if op.stalled_polls * self._poll_dt() > self.STALL_TIMEOUT:
+                    stalled_for = op.stalled_polls * self._poll_dt()
+                    if proto.max_retries > 0:
+                        # Exponential backoff between recovery rounds.
+                        deadline = proto.nack_timeout * (
+                            proto.retry_backoff ** op.retries
+                        )
+                        if stalled_for >= deadline:
+                            if op.retries >= proto.max_retries:
+                                err = TransferAborted(
+                                    f"{self.name}: gather #{op.tag} gave up "
+                                    f"at {received}/{op.plan.total_expected()}"
+                                    f" bytes after {op.retries} retransmit "
+                                    "rounds"
+                                )
+                                self.stats.transfer_aborts += 1
+                                self._gathers.pop(op.tag, None)
+                                op.done.fail(err)
+                                return
+                            self._send_nacks(op)
+                            op.retries += 1
+                            op.stalled_polls = 0
+                    elif stalled_for > self.STALL_TIMEOUT:
                         err = OffloadError(
                             f"{self.name}: gather #{op.tag} stalled at "
                             f"{received}/{op.plan.total_expected()} bytes — "
@@ -550,6 +654,32 @@ class INICCard:
             self.cpu.steal(self.spec.completion_irq_cost)
         self._gathers.pop(op.tag, None)
         op.done.succeed(op.result())
+
+    def _send_nacks(self, op: GatherOp) -> None:
+        """One recovery round: ask every incomplete peer for its missing
+        bytes (``need_payload`` marks peers whose functional payload —
+        the ``last``-flagged packet — was among the losses)."""
+        if self._wire_out is None:
+            return
+        proto = self.spec.proto
+        for peer, missing in op.plan.missing_by_peer().items():
+            if peer == self.address.value:
+                continue  # local loopback cannot lose data
+            self.stats.nacks_sent += 1
+            self._wire_out.send(
+                Frame(
+                    src=self.address,
+                    dst=MacAddress(peer),
+                    payload_bytes=0,
+                    headers=proto.headers,
+                    kind="inic-nack",
+                    meta={
+                        "op": op.tag,
+                        "missing": missing,
+                        "need_payload": op.payload_missing(peer),
+                    },
+                )
+            )
 
     def _poll_dt(self) -> float:
         """Polling granule for the delivery engine: time for one DMA

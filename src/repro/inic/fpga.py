@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import FPGAResourceError
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError, FPGAResourceError
 from ..sim.engine import Simulator
 
 __all__ = ["FPGADevice", "XILINX_4085XLA", "VIRTEX_1000", "FPGAFabric"]
@@ -74,6 +76,16 @@ class FPGAFabric:
         self.name = name
         self._configured: object = None
         self.configurations = 0
+        self.config_failures = 0
+        #: optional fault hook: ``fn(attempt_index) -> bool`` (True: this
+        #: bitstream load fails); installed by the cluster builder from a
+        #: scenario's :class:`~repro.faults.FaultPlan`
+        self._config_fault: Optional[Callable[[int], bool]] = None
+        self._config_attempts = 0
+
+    def install_config_fault(self, fn: Callable[[int], bool]) -> None:
+        """Attach a per-attempt bitstream-load failure predicate."""
+        self._config_fault = fn
 
     @property
     def total_clbs(self) -> int:
@@ -113,10 +125,25 @@ class FPGAFabric:
             )
 
     def configure(self, design, clbs: int, ram_kbits: int):
-        """Generator: load ``design`` (checks fit, charges config time)."""
+        """Generator: load ``design`` (checks fit, charges config time).
+
+        With a fault hook installed, a load attempt may fail *after*
+        paying the full reconfiguration latency (a bad bitstream is only
+        detected by the post-load CRC/readback check), raising
+        :class:`~repro.errors.ConfigurationError`.  The caller decides
+        whether to retry or degrade.
+        """
         self.check_fit(clbs, ram_kbits, getattr(design, "name", "design"))
+        attempt = self._config_attempts
+        self._config_attempts += 1
         if self.config_time > 0:
             yield self.sim.timeout(self.config_time)
+        if self._config_fault is not None and self._config_fault(attempt):
+            self.config_failures += 1
+            raise ConfigurationError(
+                f"{self.name}: bitstream load attempt {attempt} failed "
+                f"readback verification (injected configuration fault)"
+            )
         self._configured = design
         self.configurations += 1
         return design

@@ -11,7 +11,7 @@ Device contract: ``attach_wire(wire)`` (device transmits on it) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Optional, Protocol, Sequence, TYPE_CHECKING
 
 from ..errors import NetworkError
 from ..sim.engine import Simulator
@@ -21,6 +21,9 @@ from .batching import BatchPolicy, WIRE_BATCH
 from .link import Wire
 from .packet import Frame
 from .switch import Switch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultPlan
 
 __all__ = ["NetworkTechnology", "FAST_ETHERNET", "GIGABIT_ETHERNET", "build_star"]
 
@@ -71,12 +74,15 @@ def build_star(
     tech: NetworkTechnology = GIGABIT_ETHERNET,
     batch: BatchPolicy = WIRE_BATCH,
     name: str = "fabric",
+    faults: Optional["FaultPlan"] = None,
 ) -> Switch:
     """Wire ``stations`` to a new switch; returns the switch.
 
     Each station gets a dedicated full-duplex link at ``tech.bandwidth``.
     ``batch`` sets the switch's frame-train coalescing policy (pass
-    ``PER_FRAME`` for per-frame fidelity runs).
+    ``PER_FRAME`` for per-frame fidelity runs).  A ``faults`` plan
+    installs per-wire link-fault injectors (on matching wire names) and
+    applies forced switch-buffer pressure.
     """
     if not stations:
         raise NetworkError("cannot build a fabric with no stations")
@@ -84,10 +90,13 @@ def build_star(
     if len(set(a.value for a in addresses)) != len(addresses):
         raise NetworkError("duplicate station addresses in fabric")
 
+    buffer_bytes = tech.switch_buffer_per_port
+    if faults is not None:
+        buffer_bytes = faults.switch_buffer(buffer_bytes)
     switch = Switch(
         sim,
         n_ports=len(stations),
-        buffer_bytes_per_port=tech.switch_buffer_per_port,
+        buffer_bytes_per_port=buffer_bytes,
         forwarding_latency=tech.switch_latency,
         batch=batch,
         name=f"{name}.switch",
@@ -106,4 +115,9 @@ def build_star(
         switch.attach_output(port, downlink)
 
         switch.learn(addr, port)
+        if faults is not None:
+            for wire in (uplink, downlink):
+                wf = faults.wire_fault(wire.name)
+                if wf is not None:
+                    wire.install_fault(wf)
     return switch

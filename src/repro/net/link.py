@@ -7,6 +7,14 @@ Ethernet are in switched mode).
 
 Sinks implement ``receive_frame(frame)``; anything — NIC, switch port,
 INIC MAC — can terminate a wire.
+
+Fault injection: a wire may carry a :class:`~repro.faults.WireFault`
+injector (installed by the cluster builder when the scenario's
+:class:`~repro.faults.FaultSpec` targets it).  Dropped transfers vanish
+before serialization (outage/cable semantics); corrupted transfers
+occupy the wire but are discarded instead of delivered (the receiver's
+CRC check).  Without an injector the datapath is byte-for-byte the
+pre-fault-subsystem one.
 """
 
 from __future__ import annotations
@@ -47,6 +55,8 @@ class Wire:
         self.name = name
         self._sink: Optional[FrameSink] = None
         self._busy_until = 0.0
+        #: optional fault injector (see :mod:`repro.faults`)
+        self.fault = None
         # -- statistics ----------------------------------------------------
         self.frames_sent = 0
         self.bytes_sent = 0.0
@@ -56,6 +66,12 @@ class Wire:
         if self._sink is not None:
             raise LinkError(f"wire {self.name!r} already attached")
         self._sink = sink
+
+    def install_fault(self, fault) -> None:
+        """Attach a :class:`~repro.faults.WireFault` injector."""
+        if self.fault is not None:
+            raise LinkError(f"wire {self.name!r} already has a fault injector")
+        self.fault = fault
 
     @property
     def sink(self) -> FrameSink:
@@ -72,6 +88,20 @@ class Wire:
         their TX ring, switches drop on full buffers).
         """
         sink = self.sink
+        if self.fault is not None:
+            verdict = self.fault.disposition(frame, self.sim.now)
+            if verdict == "drop":
+                # The transfer never makes it onto the wire.
+                return self.sim.now
+            if verdict == "corrupt":
+                # Bit errors: the train occupies the wire for its full
+                # serialization, then fails CRC at the sink — time is
+                # burned, nothing is delivered.
+                start = max(self.sim.now, self._busy_until)
+                tx_time = frame.wire_size / self.bandwidth
+                self._busy_until = start + tx_time
+                self.busy_time += tx_time
+                return self._busy_until + self.propagation_delay
         start = max(self.sim.now, self._busy_until)
         tx_time = frame.wire_size / self.bandwidth
         done_serializing = start + tx_time

@@ -43,6 +43,7 @@ class NICStats:
         self.rx_frames = 0
         self.rx_bytes = 0.0
         self.rx_ring_drops = 0
+        self.rx_ring_drop_bytes = 0.0
 
 
 class StandardNIC:
@@ -174,6 +175,7 @@ class StandardNIC:
         """Wire-side entry point (FrameSink interface)."""
         if self._rx_ring.is_full:
             self.stats.rx_ring_drops += frame.frame_count
+            self.stats.rx_ring_drop_bytes += frame.wire_size
             return
         self._rx_ring.put(frame)
 

@@ -215,6 +215,9 @@ class Switch:
     def total_dropped(self) -> int:
         return sum(o.stats.frames_dropped for o in self._outputs)
 
+    def total_dropped_bytes(self) -> float:
+        return sum(o.stats.bytes_dropped for o in self._outputs)
+
     def total_forwarded(self) -> int:
         return sum(o.stats.frames_forwarded for o in self._outputs)
 

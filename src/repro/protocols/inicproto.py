@@ -52,16 +52,42 @@ class INICProtoConfig:
     #: the largest train whose serialization fits the policy's timing
     #: tolerance (the flow window still caps each chunk at window/4).
     batch: BatchPolicy = field(default_factory=lambda: DEFAULT_BATCH)
+    #: loss recovery: NACK/retransmit rounds per gather before the
+    #: operation aborts with :class:`~repro.errors.TransferAborted`.
+    #: ``0`` keeps the paper's pure no-loss protocol (a stalled plan
+    #: fails loudly instead of recovering) — the default, so ideal-fabric
+    #: runs stay bit-identical.
+    max_retries: int = 0
+    #: seconds of zero gather progress before the first NACK round
+    nack_timeout: float = 0.005
+    #: multiplier on ``nack_timeout`` between successive rounds
+    retry_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         if self.packet_size < 1 or self.headers < 0:
             raise ProtocolError("invalid INIC protocol framing")
+        if self.max_retries < 0:
+            raise ProtocolError("max_retries must be >= 0")
+        if self.nack_timeout <= 0 or self.retry_backoff < 1.0:
+            raise ProtocolError("invalid recovery timing parameters")
 
 
 class TransferPlan:
-    """Expected receive volume per peer for one communication phase."""
+    """Expected receive volume per peer for one communication phase.
 
-    def __init__(self, sim: Simulator, expected: dict[int, int], name: str = "plan"):
+    With ``tolerate_surplus`` (set by recovery-enabled cards) a peer may
+    deliver more than its expected bytes — a retransmission racing a
+    late original — and the excess is clamped and counted instead of
+    treated as a protocol violation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        expected: dict[int, int],
+        name: str = "plan",
+        tolerate_surplus: bool = False,
+    ):
         for peer, nbytes in expected.items():
             if nbytes < 0:
                 raise ProtocolError(f"negative expected bytes from peer {peer}")
@@ -69,6 +95,8 @@ class TransferPlan:
         self.name = name
         self.expected = dict(expected)
         self.received = {peer: 0 for peer in expected}
+        self.tolerate_surplus = tolerate_surplus
+        self.surplus_bytes = 0
         self._complete = sim.event(name=f"{name}.complete")
         self._check_done()
 
@@ -90,11 +118,23 @@ class TransferPlan:
             raise ProtocolError(f"{self.name}: unexpected sender {src}")
         self.received[peer] += nbytes
         if self.received[peer] > self.expected[peer]:
-            raise ProtocolError(
-                f"{self.name}: peer {peer} overflowed plan "
-                f"({self.received[peer]} > {self.expected[peer]})"
-            )
+            if not self.tolerate_surplus:
+                raise ProtocolError(
+                    f"{self.name}: peer {peer} overflowed plan "
+                    f"({self.received[peer]} > {self.expected[peer]})"
+                )
+            self.surplus_bytes += self.received[peer] - self.expected[peer]
+            self.received[peer] = self.expected[peer]
         self._check_done()
+
+    def missing_by_peer(self) -> dict[int, int]:
+        """Byte ranges still owed, per incomplete peer — what a recovery
+        round asks each sender to re-issue."""
+        return {
+            peer: self.expected[peer] - self.received[peer]
+            for peer in self.expected
+            if self.received[peer] < self.expected[peer]
+        }
 
     def _check_done(self) -> None:
         if not self._complete.triggered and all(

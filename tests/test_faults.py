@@ -1,0 +1,538 @@
+"""Tests for deterministic fault injection and loss recovery.
+
+Covers the fault subsystem end to end: spec validation and sweep-param
+embedding, per-wire injector determinism, the link/switch/ring/FPGA
+hooks, NACK-driven retransmission in both the raw stack and the INIC
+protocol, ``TransferAborted`` on budget exhaustion, graceful degradation
+to the host-TCP path, and the serial-vs-parallel determinism of lossy
+sweep points.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import build_acc, protocol_processor_design
+from repro.errors import (
+    ConfigurationError,
+    FaultConfigError,
+    TransferAborted,
+)
+from repro.faults import (
+    CORRUPT,
+    DELIVER,
+    DROP,
+    FaultPlan,
+    FaultSpec,
+    NO_FAULTS,
+    WireFault,
+)
+from repro.inic import SendBlock
+from repro.inic.card import IDEAL_INIC
+from repro.net import Frame, MacAddress, StandardNIC, Wire, build_star
+from repro.protocols import RawConfig, RawEthernetStack, TransferPlan
+from repro.protocols.base import Mailbox
+from repro.sim import FairShareBus, Simulator
+
+
+def _recovery(card, retries=8):
+    """Card spec with NACK/retransmit recovery enabled."""
+    return dataclasses.replace(
+        card, proto=dataclasses.replace(card.proto, max_retries=retries)
+    )
+
+
+# -- FaultSpec: validation + sweep embedding ---------------------------------------
+
+
+def test_fault_spec_validates_rates_and_scales():
+    with pytest.raises(FaultConfigError):
+        FaultSpec(loss_rate=1.5)
+    with pytest.raises(FaultConfigError):
+        FaultSpec(corrupt_rate=-0.1)
+    with pytest.raises(FaultConfigError):
+        FaultSpec(config_failure_rate=2.0)
+    with pytest.raises(FaultConfigError):
+        FaultSpec(switch_buffer_scale=0.0)
+    with pytest.raises(FaultConfigError):
+        FaultSpec(rx_ring_scale=-1.0)
+    with pytest.raises(FaultConfigError):
+        FaultSpec(outages=((-1.0, 2.0),))
+    with pytest.raises(FaultConfigError):
+        FaultSpec(outages=((0.0, 0.0),))
+
+
+def test_fault_spec_params_roundtrip():
+    spec = FaultSpec(
+        seed=9, loss_rate=0.01, outages=((0.1, 0.2),), wires="fabric.up*"
+    )
+    assert FaultSpec.from_params(spec.to_params()) == spec
+    assert NO_FAULTS.to_params() is None
+    assert FaultSpec.from_params(None) == NO_FAULTS
+    with pytest.raises(FaultConfigError):
+        FaultSpec.from_params({"loss_rate": 0.1, "bogus": 1})
+
+
+def test_fault_spec_enabled_flags():
+    assert not NO_FAULTS.enabled
+    assert FaultSpec(loss_rate=0.1).enabled
+    assert FaultSpec(loss_rate=0.1).link_faults
+    assert FaultSpec(config_failure_rate=0.5).enabled
+    assert not FaultSpec(config_failure_rate=0.5).link_faults
+    # A disabled spec never produces a runtime plan.
+    assert FaultPlan.from_params(None) is None
+    assert FaultPlan.from_params(FaultSpec(loss_rate=0.2).to_params()) is not None
+
+
+# -- WireFault / FaultPlan: determinism and hooks ----------------------------------
+
+
+def _feed(fault, n=200):
+    f = Frame(MacAddress(0), MacAddress(1), payload_bytes=1500, frame_count=3)
+    return [fault.disposition(f, t * 1e-4) for t in range(n)]
+
+
+def test_wire_fault_decisions_are_seed_deterministic():
+    spec = FaultSpec(seed=5, loss_rate=0.1, corrupt_rate=0.05)
+    a, b = WireFault(spec, "fabric.up0"), WireFault(spec, "fabric.up0")
+    assert _feed(a) == _feed(b)
+    assert a.log == b.log
+    assert a.frames_dropped == b.frames_dropped > 0
+    # A different wire name is a different stream.
+    c = WireFault(spec, "fabric.up1")
+    assert _feed(c) != _feed(a)
+
+
+def test_wire_fault_outage_drops_everything_inside_window():
+    fault = WireFault(FaultSpec(outages=((0.01, 0.02),)), "w")
+    f = Frame(MacAddress(0), MacAddress(1), payload_bytes=100)
+    assert fault.disposition(f, 0.005) == DELIVER
+    assert fault.disposition(f, 0.015) == DROP
+    assert fault.disposition(f, 0.031) == DELIVER
+
+
+def test_fault_plan_wire_pattern_and_resource_hooks():
+    plan = FaultPlan(
+        FaultSpec(
+            loss_rate=0.1,
+            wires="fabric.up*",
+            switch_buffer_scale=0.5,
+            rx_ring_scale=0.001,
+        )
+    )
+    assert plan.wire_fault("fabric.up0") is not None
+    assert plan.wire_fault("fabric.down0") is None
+    # Hooks are cached per wire (one stream per component).
+    assert plan.wire_fault("fabric.up0") is plan.wire_fault("fabric.up0")
+    assert plan.switch_buffer(128 * 1024) == 64 * 1024
+    assert plan.rx_ring_depth(256) == 1  # floor of 1 descriptor
+
+
+def test_config_attempt_draws_are_fresh_and_deterministic():
+    spec = FaultSpec(seed=3, config_failure_rate=0.5)
+    a, b = FaultPlan(spec), FaultPlan(spec)
+    draws = [a.config_attempt_fails("inic0", k) for k in range(20)]
+    assert draws == [b.config_attempt_fails("inic0", k) for k in range(20)]
+    # Retrying is a fresh draw, not a replay: both outcomes appear.
+    assert True in draws and False in draws
+    always = FaultPlan(FaultSpec(config_failure_rate=1.0))
+    never = FaultPlan(FaultSpec(config_failure_rate=0.0))
+    assert all(always.config_attempt_fails("inic0", k) for k in range(4))
+    assert not any(never.config_attempt_fails("inic0", k) for k in range(4))
+
+
+# -- Wire-level injection ----------------------------------------------------------
+
+
+class ScriptedFault:
+    """Test injector with a fixed disposition script (then DELIVER)."""
+
+    def __init__(self, verdicts):
+        self.verdicts = list(verdicts)
+
+    def disposition(self, frame, now):
+        return self.verdicts.pop(0) if self.verdicts else DELIVER
+
+
+class _Sink:
+    def __init__(self):
+        self.got = []
+
+    def receive_frame(self, frame):
+        self.got.append(frame)
+
+
+def test_wire_drop_delivers_nothing_and_burns_no_time():
+    sim = Simulator()
+    wire = Wire(sim, bandwidth=1e9)
+    sink = _Sink()
+    wire.attach(sink)
+    wire.install_fault(ScriptedFault([DROP]))
+    wire.send(Frame(MacAddress(0), MacAddress(1), payload_bytes=1000))
+    wire.send(Frame(MacAddress(0), MacAddress(1), payload_bytes=1000))
+    sim.run()
+    assert len(sink.got) == 1  # second frame survives
+    assert wire.frames_sent == 1
+
+
+def test_wire_corrupt_burns_serialization_time_without_delivery():
+    sim = Simulator()
+    wire = Wire(sim, bandwidth=1e6)
+    sink = _Sink()
+    wire.attach(sink)
+    wire.install_fault(ScriptedFault([CORRUPT]))
+    f = Frame(MacAddress(0), MacAddress(1), payload_bytes=1000)
+    wire.send(f)
+    sim.run()
+    assert sink.got == []
+    assert wire.busy_time == pytest.approx(f.wire_size / 1e6)
+
+
+def test_wire_rejects_second_injector():
+    sim = Simulator()
+    wire = Wire(sim, bandwidth=1e9)
+    wire.install_fault(ScriptedFault([]))
+    from repro.errors import LinkError
+
+    with pytest.raises(LinkError):
+        wire.install_fault(ScriptedFault([]))
+
+
+# -- Raw stack reliable mode -------------------------------------------------------
+
+
+def _raw_pair(sim, cfg, faults=None, batch=None):
+    from repro.net.batching import DEFAULT_BATCH
+
+    batch = batch or DEFAULT_BATCH
+    nics, stacks = [], []
+    for i in range(2):
+        bus = FairShareBus(sim, bandwidth=112e6)
+        nic = StandardNIC(
+            sim, MacAddress(i), host_bus=bus, batch=batch, name=f"nic{i}"
+        )
+        stacks.append(RawEthernetStack(sim, nic, config=cfg, name=f"raw{i}"))
+        nics.append(nic)
+    build_star(
+        sim,
+        [(MacAddress(i), nics[i]) for i in range(2)],
+        batch=batch,
+        faults=faults,
+    )
+    return nics, stacks
+
+
+def test_raw_config_validates_recovery_timing():
+    from repro.errors import ProtocolError
+
+    with pytest.raises(ProtocolError):
+        RawConfig(retransmit_timeout=0.0)
+    with pytest.raises(ProtocolError):
+        RawConfig(retry_backoff=0.5)
+    with pytest.raises(ProtocolError):
+        RawConfig(max_retries=-1)
+
+
+def test_raw_reliable_completes_on_ack_without_faults():
+    sim = Simulator()
+    _, stacks = _raw_pair(sim, RawConfig(reliable=True))
+    t = {}
+
+    def sender():
+        yield stacks[0].send(MacAddress(1), 40_000)
+        t["acked"] = sim.now
+
+    def receiver():
+        yield stacks[1].recv()
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert stacks[1].messages_delivered == 1
+    assert stacks[0].acks_received == 1
+    assert stacks[0].retransmits == 0
+    assert t["acked"] > 0
+
+
+def test_raw_reliable_recovers_from_outage_by_timeout_resend():
+    sim = Simulator()
+    cfg = RawConfig(reliable=True, retransmit_timeout=0.005, max_retries=4)
+    plan = FaultPlan(FaultSpec(outages=((0.0, 0.002),)))
+    _, stacks = _raw_pair(sim, cfg, faults=plan)
+    t = {}
+
+    def sender():
+        yield stacks[0].send(MacAddress(1), 20_000)
+        t["acked"] = sim.now
+
+    def receiver():
+        yield stacks[1].recv()
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert stacks[1].messages_delivered == 1
+    assert stacks[0].retransmits >= 1
+    assert stacks[0].transfer_aborts == 0
+    assert t["acked"] > cfg.retransmit_timeout  # paid at least one timeout
+    counters = plan.link_counters()
+    assert counters["frames_dropped"] > 0
+
+
+def test_raw_reliable_aborts_after_retry_budget():
+    sim = Simulator()
+    cfg = RawConfig(reliable=True, retransmit_timeout=0.001, max_retries=1)
+    plan = FaultPlan(FaultSpec(outages=((0.0, 60.0),)))  # dead fabric
+    _, stacks = _raw_pair(sim, cfg, faults=plan)
+
+    def sender():
+        yield stacks[0].send(MacAddress(1), 5_000)
+
+    p = sim.process(sender())
+    with pytest.raises(TransferAborted):
+        sim.run(until=p)
+    assert stacks[0].transfer_aborts == 1
+    assert stacks[0].retransmits == 1
+
+
+def test_raw_reliable_nack_fast_path_beats_timeout():
+    """A hole behind the final frame triggers an immediate NACK and a
+    partial retransmit, well before the sender's retransmit timeout."""
+    from repro.net.batching import PER_FRAME
+
+    sim = Simulator()
+    mtu = 1500
+    cfg = RawConfig(
+        reliable=True,
+        retransmit_timeout=0.5,  # deliberately huge: fast path must win
+        quantum_target_events=10**9,
+        max_quantum=1,
+        batch=PER_FRAME,
+    )
+    nics, stacks = _raw_pair(sim, cfg, batch=PER_FRAME)
+    # Drop only the first data train on the sender's uplink.
+    nics[0]._wire_out.install_fault(ScriptedFault([DROP]))
+    t = {}
+
+    def sender():
+        yield stacks[0].send(MacAddress(1), 3 * mtu)
+        t["acked"] = sim.now
+
+    def receiver():
+        yield stacks[1].recv()
+        t["got"] = sim.now
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert stacks[1].nacks_sent == 1
+    assert stacks[0].nacks_received == 1
+    assert stacks[0].retransmits == 1
+    assert stacks[0].retransmitted_bytes == mtu
+    assert t["got"] < cfg.retransmit_timeout
+    assert t["acked"] < cfg.retransmit_timeout
+
+
+# -- Mailbox failure propagation ---------------------------------------------------
+
+
+def test_mailbox_fail_wakes_matching_waiter():
+    sim = Simulator()
+    box = Mailbox(sim)
+    seen = []
+
+    def waiter():
+        try:
+            yield box.recv(src=MacAddress(3))
+        except TransferAborted as e:
+            seen.append(str(e))
+
+    sim.process(waiter())
+    sim.run()
+    box.fail(MacAddress(3), None, TransferAborted("gone"))
+    sim.run()
+    assert seen == ["gone"]
+
+
+def test_mailbox_fail_poisons_future_matching_recv():
+    sim = Simulator()
+    box = Mailbox(sim)
+    box.fail(MacAddress(1), 7, TransferAborted("dead peer"))
+    ev = box.recv(src=MacAddress(1), tag=7)
+
+    def waiter():
+        yield ev
+
+    p = sim.process(waiter())
+    with pytest.raises(TransferAborted, match="dead peer"):
+        sim.run(until=p)
+    # Non-matching receives are untouched.
+    assert not box.recv(src=MacAddress(2), tag=7).triggered
+
+
+# -- INIC protocol recovery --------------------------------------------------------
+
+
+def _scatter_gather(cluster, manager, nbytes):
+    """One rank0 -> rank1 transfer; returns the receiver process."""
+    sim = cluster.sim
+    card0 = manager.driver(0).card
+
+    def sender():
+        op = card0.post_scatter(1, [SendBlock(MacAddress(1), nbytes)])
+        yield op.sent
+
+    def receiver():
+        plan = TransferPlan(sim, {0: nbytes})
+        op = manager.driver(1).card.post_gather(1, plan)
+        yield op.done
+
+    sim.process(sender())
+    return sim.process(receiver())
+
+
+def test_inic_transfer_recovers_from_loss_via_nacks():
+    # 5% per-train loss: drops are certain over ~queue-depth trains but
+    # each NACK round (bounded by the 64 KiB flow window) heals faster
+    # than new losses accumulate, so recovery converges well inside the
+    # retry budget.
+    faults = FaultSpec(seed=11, loss_rate=0.05)
+    cluster, manager = build_acc(2, card=_recovery(IDEAL_INIC), faults=faults)
+    manager.configure_all(protocol_processor_design)
+    p = _scatter_gather(cluster, manager, 256 * 1024)
+    cluster.sim.run(until=p, max_events=10_000_000)
+    counters = cluster.fault_plan.link_counters()
+    assert counters["frames_dropped"] > 0
+    cards = [n.require_inic() for n in cluster.nodes]
+    assert sum(c.stats.nacks_sent for c in cards) >= 1
+    assert sum(c.stats.retransmits for c in cards) >= 1
+    assert sum(c.stats.transfer_aborts for c in cards) == 0
+
+
+def test_inic_gather_aborts_when_retry_budget_exhausted():
+    cluster, manager = build_acc(2, card=_recovery(IDEAL_INIC, retries=2))
+    manager.configure_all(protocol_processor_design)
+    sim = cluster.sim
+    plan = TransferPlan(sim, {0: 10_000})  # nobody will send this
+    op = manager.driver(1).card.post_gather(9, plan)
+
+    def waiter():
+        yield op.done
+
+    p = sim.process(waiter())
+    with pytest.raises(TransferAborted):
+        sim.run(until=p, max_events=10_000_000)
+    assert manager.driver(1).card.stats.transfer_aborts == 1
+    assert manager.driver(1).card.stats.nacks_sent >= 2
+
+
+def test_inic_recovery_run_is_deterministic():
+    def run():
+        faults = FaultSpec(seed=4, loss_rate=0.1)
+        cluster, manager = build_acc(
+            2, card=_recovery(IDEAL_INIC), faults=faults
+        )
+        manager.configure_all(protocol_processor_design)
+        p = _scatter_gather(cluster, manager, 128 * 1024)
+        cluster.sim.run(until=p, max_events=10_000_000)
+        return cluster.sim.now, cluster.sim.event_count, (
+            cluster.fault_plan.schedule()
+        )
+
+    assert run() == run()
+
+
+# -- FPGA configuration failure and graceful degradation ---------------------------
+
+
+def test_manager_raises_after_bounded_config_retries():
+    faults = FaultSpec(seed=1, config_failure_rate=1.0)
+    cluster, manager = build_acc(2, faults=faults)
+    with pytest.raises(ConfigurationError):
+        manager.configure_all(protocol_processor_design)
+    # Every card burned its full retry budget (2 attempts each).
+    assert manager.config_failures() == 4
+
+
+def test_config_failures_pay_reconfiguration_time():
+    faults = FaultSpec(seed=1, config_failure_rate=1.0)
+    cluster, manager = build_acc(2, faults=faults)
+    with pytest.raises(ConfigurationError):
+        manager.configure_all(protocol_processor_design)
+    assert cluster.sim.now > 0  # failed loads are not free
+
+
+def test_sort_runner_degrades_to_host_tcp_on_config_failure():
+    from repro.bench.sweep import _run_sort_des
+
+    res = _run_sort_des(
+        {
+            "e_init": 1 << 14,
+            "p": 2,
+            "card": "aceii-prototype",
+            "seed": 2,
+            "faults": FaultSpec(seed=7, config_failure_rate=1.0).to_params(),
+            "retries": 2,
+        }
+    )
+    assert res["fallbacks"] == 1
+    assert res["aborted"] is False
+    assert res["faults"]["config_failures"] == 4  # 2 nodes x 2 attempts
+    assert res["makespan"] > 0
+    # The degraded run must still cost more than a clean baseline: the
+    # wasted bitstream-load attempts are charged on top.
+    clean = _run_sort_des({"e_init": 1 << 14, "p": 2, "card": None, "seed": 2})
+    assert res["makespan"] > clean["makespan"]
+
+
+# -- Sweep integration: zero-fault identity and parallel determinism ---------------
+
+
+def test_zero_fault_runner_results_keep_legacy_shape():
+    from repro.bench.sweep import _run_sort_des
+
+    res = _run_sort_des(
+        {"e_init": 1 << 14, "p": 2, "card": "aceii-prototype", "seed": 2}
+    )
+    assert set(res) == {"makespan", "events"}  # bit-identical legacy path
+
+
+def test_fault_suite_zero_loss_point_shares_perf_identity():
+    from repro.bench.harness import Scale
+    from repro.bench.sweep import fault_points, perf_points
+
+    scale = Scale.ci()
+    loss0 = next(
+        s for s in fault_points(scale) if s.name == "sort-faults-loss0"
+    )
+    assert "faults" not in loss0.params
+    p = loss0.params["p"]
+    twin = next(
+        s for s in perf_points(scale) if s.name == f"sort-inic-p{p}"
+    )
+    assert loss0.spec_hash == twin.spec_hash  # same cache entry
+
+
+def test_lossy_point_identical_serial_and_parallel():
+    from repro.bench.sweep import PointSpec, SweepEngine
+
+    faults = FaultSpec(seed=7, loss_rate=0.01).to_params()
+    specs = [
+        PointSpec(
+            "sort-des",
+            f"det-loss-p{p}",
+            {
+                "e_init": 1 << 14,
+                "p": p,
+                "card": "aceii-prototype",
+                "seed": 2,
+                "faults": faults,
+                "retries": 8,
+            },
+        )
+        for p in (2, 4)
+    ]
+    serial = SweepEngine(jobs=1, cache_dir=None).run(specs)
+    parallel = SweepEngine(jobs=2, cache_dir=None).run(specs)
+    for name in ("det-loss-p2", "det-loss-p4"):
+        assert serial[name].value == parallel[name].value

@@ -119,6 +119,28 @@ def test_rx_ring_overflow_drops():
     assert nic.stats.rx_ring_drops > 0
 
 
+def test_rx_ring_overflow_accounts_frame_trains():
+    """Tail drops under CHUNK fidelity: a dropped train counts all of
+    its physical frames and its full wire bytes."""
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    bus = FairShareBus(sim, bandwidth=1e3, name="slowpci")  # pathological PCI
+    nic = StandardNIC(
+        sim, MacAddress(0), host_bus=bus, cpu=cpu, rx_ring=2, name="tiny"
+    )
+    nic.bind_receiver(lambda f: None)
+    frames = [
+        Frame(MacAddress(1), MacAddress(0), payload_bytes=6000, frame_count=4)
+        for _ in range(5)
+    ]
+    for f in frames:
+        nic.receive_frame(f)
+    sim.run(until=0.1)
+    # Ring holds 2 trains; the other 3 tail-drop whole.
+    assert nic.stats.rx_ring_drops == 3 * 4
+    assert nic.stats.rx_ring_drop_bytes == pytest.approx(3 * frames[0].wire_size)
+
+
 def test_quantum_frames_count_as_many():
     sim = Simulator()
     nics, _, addrs = make_pair(sim)

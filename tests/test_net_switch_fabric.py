@@ -111,6 +111,32 @@ def test_switch_drops_when_output_buffer_full():
     assert len(dst.got) == 2
 
 
+def test_switch_drop_accounting_with_frame_trains():
+    """A dropped train counts every physical frame and its wire bytes in
+    ``total_dropped`` / ``total_dropped_bytes``."""
+    sim = Simulator()
+    switch = Switch(sim, n_ports=2, buffer_bytes_per_port=5000, forwarding_latency=0.0)
+    a, b = MacAddress(0), MacAddress(1)
+    dst = Station(sim)
+    down = Wire(sim, bandwidth=1000.0)  # slow drain
+    down.attach(dst)
+    switch.attach_output(1, down)
+    switch.learn(b, 1)
+    trains = [
+        Frame(a, b, payload_bytes=4386, headers=0, frame_count=3)  # 4500 wire
+        for _ in range(4)
+    ]
+    for f in trains:
+        switch._ingress(f, in_port=0)
+    sim.run(until=1.0)
+    # The 5000-byte budget holds one 4500-byte train; three drop whole.
+    assert switch.total_dropped() == 3 * 3
+    assert switch.total_dropped_bytes() == pytest.approx(3 * trains[0].wire_size)
+    stats = switch.port_stats(1)
+    assert stats.frames_dropped == 9
+    assert stats.bytes_dropped == pytest.approx(3 * trains[0].wire_size)
+
+
 def test_no_drops_within_buffer_budget():
     """Section 4.1: no loss while in-flight data fits the buffers."""
     sim = Simulator()

@@ -16,10 +16,10 @@ import pytest
 
 from conftest import run_once
 
+from repro.api import ACEII_PROTOTYPE, CardSpec, Experiment, IDEAL_INIC
 from repro.apps.fft import baseline_fft2d, inic_fft2d
-from repro.cluster import Cluster, ClusterSpec, ParallelApp, alltoall, alltoall_concurrent
-from repro.core import build_acc, fft_transpose_design, integer_sort_design
-from repro.inic import ACEII_PROTOTYPE, CardSpec, IDEAL_INIC
+from repro.cluster import ParallelApp, alltoall, alltoall_concurrent
+from repro.core import fft_transpose_design, integer_sort_design
 from repro.protocols import INICProtoConfig
 
 P = 4
@@ -32,8 +32,8 @@ def _matrix(seed=8):
 
 
 def _inic_time(card: CardSpec) -> float:
-    cluster, manager = build_acc(P, card=card)
-    _, res = inic_fft2d(cluster, manager, _matrix())
+    session = Experiment().nodes(P).card(card).build()
+    _, res = inic_fft2d(session.cluster, session.manager, _matrix())
     return res.makespan
 
 
@@ -77,7 +77,7 @@ def test_pairwise_vs_concurrent_alltoall(benchmark):
     all-to-all of the same volume is faster at this scale."""
     times = {}
     for name, coll in (("pairwise", alltoall), ("concurrent", alltoall_concurrent)):
-        cluster = Cluster.build(ClusterSpec(n_nodes=8))
+        cluster = Experiment().nodes(8).build().cluster
         app = ParallelApp(cluster)
         block = 32 * 1024
 
@@ -99,7 +99,8 @@ def test_pairwise_vs_concurrent_alltoall(benchmark):
 
 def test_reconfiguration_cost_between_apps(benchmark):
     """Switching FFT -> sort designs costs one bitstream load per card."""
-    cluster, manager = build_acc(2)
+    session = Experiment().nodes(2).card().build()
+    cluster, manager = session.cluster, session.manager
 
     def reconfigure():
         t_fft = manager.configure_all(fft_transpose_design)

@@ -14,10 +14,8 @@ import pytest
 
 from conftest import run_once
 
+from repro.api import ACEII_PROTOTYPE, Experiment
 from repro.apps.fft import baseline_fft2d, inic_fft2d
-from repro.cluster import Cluster, ClusterSpec
-from repro.core import build_acc
-from repro.inic import ACEII_PROTOTYPE
 
 ROWS = 128
 P = 4
@@ -29,15 +27,15 @@ def _matrix():
 
 
 def _run_baseline():
-    cluster = Cluster.build(ClusterSpec(n_nodes=P))
+    cluster = Experiment().nodes(P).build().cluster
     _, res = baseline_fft2d(cluster, _matrix())
     return cluster, res
 
 
 def _run_inic():
-    cluster, manager = build_acc(P, card=ACEII_PROTOTYPE)
-    _, res = inic_fft2d(cluster, manager, _matrix())
-    return cluster, manager, res
+    session = Experiment().nodes(P).card(ACEII_PROTOTYPE).build()
+    _, res = inic_fft2d(session.cluster, session.manager, _matrix())
+    return session.cluster, session.manager, res
 
 
 def test_baseline_interrupt_load(benchmark):

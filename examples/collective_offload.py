@@ -21,14 +21,14 @@ import argparse
 
 import numpy as np
 
+from repro.api import Experiment
 from repro.apps.collective import inic_allreduce
-from repro.cluster import Cluster, ClusterSpec, ParallelApp, allreduce
-from repro.core import build_acc
+from repro.cluster import ParallelApp, allreduce
 from repro.units import fmt_time
 
 
 def host_allreduce(p: int, contributions: list[np.ndarray]):
-    cluster = Cluster.build(ClusterSpec(n_nodes=p))
+    cluster = Experiment().nodes(p).build().cluster
     app = ParallelApp(cluster)
 
     def program(ctx):
@@ -54,7 +54,8 @@ def main() -> None:
     host_out = host_res.rank_results[0]
     assert np.allclose(host_out, expected)
 
-    acc, manager = build_acc(p)
+    session = Experiment().nodes(p).card().build()
+    acc, manager = session.cluster, session.manager
     inic_out, inic_res = inic_allreduce(acc, manager, contributions)
     assert np.allclose(inic_out, expected)
 

@@ -16,9 +16,8 @@ import argparse
 
 import numpy as np
 
+from repro.api import Experiment
 from repro.apps.compute import host_map, inic_map
-from repro.cluster import Cluster, ClusterSpec
-from repro.core import build_acc
 from repro.units import fmt_time
 
 
@@ -33,14 +32,15 @@ def main() -> None:
     items = [rng.standard_normal(args.size) for _ in range(args.items)]
     kernel = np.cumsum
 
-    cluster = Cluster.build(ClusterSpec(n_nodes=args.procs))
+    host = Experiment().nodes(args.procs).build()
     # a compute-heavy streaming kernel class (~48 flops/byte, e.g.
     # multi-tap filtering) — the regime FPGA offload targets
-    host_out, host_res = host_map(cluster, kernel, items, flops_per_byte=48.0)
-    host_busy = sum(n.cpu.busy_time for n in cluster.nodes)
+    host_out, host_res = host_map(host.cluster, kernel, items, flops_per_byte=48.0)
+    host_busy = sum(n.cpu.busy_time for n in host.nodes)
 
-    acc, manager = build_acc(args.procs)
-    inic_out, inic_res = inic_map(acc, manager, kernel, items)
+    acc = Experiment().nodes(args.procs).card().build()
+    manager = acc.manager
+    inic_out, inic_res = inic_map(acc.cluster, manager, kernel, items)
     inic_busy = sum(n.cpu.busy_time for n in acc.nodes)
 
     for a, b in zip(host_out, inic_out):

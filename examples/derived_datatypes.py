@@ -14,8 +14,9 @@ import argparse
 
 import numpy as np
 
-from repro.cluster import Cluster, ClusterSpec, ParallelApp
-from repro.core import build_acc, datatype_design
+from repro.api import Experiment
+from repro.cluster import ParallelApp
+from repro.core import datatype_design
 from repro.hw import AccessPattern
 from repro.inic import SendBlock
 from repro.inic.cores import VectorLayout
@@ -26,7 +27,7 @@ from repro.units import fmt_time
 
 def host_version(n: int, matrix: np.ndarray, layout: VectorLayout):
     """Baseline: pack on the host, send, unpack on the host."""
-    cluster = Cluster.build(ClusterSpec(n_nodes=2))
+    cluster = Experiment().nodes(2).build().cluster
     app = ParallelApp(cluster)
     nbytes = layout.elements * matrix.dtype.itemsize
 
@@ -57,7 +58,8 @@ def host_version(n: int, matrix: np.ndarray, layout: VectorLayout):
 
 def inic_version(n: int, matrix: np.ndarray, layout: VectorLayout):
     """INIC: the datatype engine gathers/scatters in the DMA path."""
-    cluster, manager = build_acc(2)
+    session = Experiment().nodes(2).card().build()
+    cluster, manager = session.cluster, session.manager
     manager.configure_all(datatype_design)
     nbytes = layout.elements * matrix.dtype.itemsize
     sim = cluster.sim

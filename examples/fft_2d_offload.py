@@ -13,12 +13,10 @@ import argparse
 
 import numpy as np
 
+from repro.api import ACEII_PROTOTYPE, Experiment, FAST_ETHERNET
 from repro.apps.fft import baseline_fft2d, fft2d, inic_fft2d
-from repro.cluster import Cluster, ClusterSpec, athlon_node
-from repro.core import build_acc
-from repro.inic import ACEII_PROTOTYPE
+from repro.cluster import athlon_node
 from repro.models import inic_fft_time, serial_fft_time
-from repro.net import FAST_ETHERNET
 
 
 def run(rows: int, procs: list[int]) -> None:
@@ -28,8 +26,8 @@ def run(rows: int, procs: list[int]) -> None:
     hierarchy = athlon_node().hierarchy()
 
     # Serial reference: the P=1 baseline run.
-    serial_cluster = Cluster.build(ClusterSpec(n_nodes=1))
-    _, serial = baseline_fft2d(serial_cluster, matrix)
+    serial_session = Experiment().nodes(1).build()
+    _, serial = baseline_fft2d(serial_session.cluster, matrix)
     t1 = serial.makespan
     t1_model = serial_fft_time(rows, hierarchy)
 
@@ -45,12 +43,12 @@ def run(rows: int, procs: list[int]) -> None:
         if p == 1:
             fe = ge = proto = 1.0
         else:
-            fe_cluster = Cluster.build(ClusterSpec(n_nodes=p, network=FAST_ETHERNET))
-            _, fe_res = baseline_fft2d(fe_cluster, matrix)
-            ge_cluster = Cluster.build(ClusterSpec(n_nodes=p))
-            _, ge_res = baseline_fft2d(ge_cluster, matrix)
-            acc, manager = build_acc(p, card=ACEII_PROTOTYPE)
-            out, proto_res = inic_fft2d(acc, manager, matrix)
+            fe_sess = Experiment().nodes(p).network(FAST_ETHERNET).build()
+            _, fe_res = baseline_fft2d(fe_sess.cluster, matrix)
+            ge_sess = Experiment().nodes(p).build()
+            _, ge_res = baseline_fft2d(ge_sess.cluster, matrix)
+            acc = Experiment().nodes(p).card(ACEII_PROTOTYPE).build()
+            out, proto_res = inic_fft2d(acc.cluster, acc.manager, matrix)
             assert np.allclose(out, oracle, atol=1e-8)
             fe = t1 / fe_res.makespan
             ge = t1 / ge_res.makespan

@@ -20,10 +20,8 @@ import argparse
 
 import numpy as np
 
+from repro.api import ACEII_PROTOTYPE, Experiment, IDEAL_INIC
 from repro.apps.sort import baseline_sort, inic_sort, is_sorted
-from repro.cluster import Cluster, ClusterSpec
-from repro.core import build_acc
-from repro.inic import ACEII_PROTOTYPE, IDEAL_INIC
 
 
 def check(parts: list[np.ndarray], keys: np.ndarray) -> None:
@@ -37,8 +35,8 @@ def run(log2_keys: int, procs: list[int]) -> None:
     keys = rng.integers(0, 2**32, size=1 << log2_keys, dtype=np.uint32)
     print(f"sorting 2^{log2_keys} = {keys.size} uniform uint32 keys")
 
-    serial_cluster = Cluster.build(ClusterSpec(n_nodes=1))
-    parts, serial = baseline_sort(serial_cluster, keys)
+    serial_session = Experiment().nodes(1).build()
+    parts, serial = baseline_sort(serial_session.cluster, keys)
     check(parts, keys)
     t1 = serial.makespan
     print(f"serial reference: {t1 * 1000:.1f} ms "
@@ -50,16 +48,16 @@ def run(log2_keys: int, procs: list[int]) -> None:
     for p in procs:
         if p == 1 or keys.size % p:
             continue
-        ge_cluster = Cluster.build(ClusterSpec(n_nodes=p))
-        parts, ge = baseline_sort(ge_cluster, keys)
+        ge_sess = Experiment().nodes(p).build()
+        parts, ge = baseline_sort(ge_sess.cluster, keys)
         check(parts, keys)
 
-        proto, proto_mgr = build_acc(p, card=ACEII_PROTOTYPE)
-        parts, pr = inic_sort(proto, proto_mgr, keys)
+        proto = Experiment().nodes(p).card(ACEII_PROTOTYPE).build()
+        parts, pr = inic_sort(proto.cluster, proto.manager, keys)
         check(parts, keys)
 
-        ideal, ideal_mgr = build_acc(p, card=IDEAL_INIC)
-        parts, id_ = inic_sort(ideal, ideal_mgr, keys)
+        ideal = Experiment().nodes(p).card(IDEAL_INIC).build()
+        parts, id_ = inic_sort(ideal.cluster, ideal.manager, keys)
         check(parts, keys)
 
         print(

@@ -14,9 +14,9 @@ Run:  python examples/protocol_modes.py
 
 import numpy as np
 
-from repro.cluster import Cluster, ClusterSpec, ParallelApp
+from repro.api import Experiment
+from repro.cluster import ParallelApp
 from repro.core import (
-    build_acc,
     compute_design,
     fft_transpose_design,
     protocol_processor_design,
@@ -28,7 +28,8 @@ from repro.units import fmt_time
 
 def demo_compute_accelerator() -> None:
     print("== Mode 1: Compute Accelerator ==")
-    cluster, manager = build_acc(1)
+    session = Experiment().nodes(1).card().build()
+    cluster, manager = session.cluster, session.manager
     manager.configure_all(lambda: compute_design([ReduceCore("sum")]))
     card = manager.driver(0).card
     data = np.arange(1 << 16, dtype=np.float64)
@@ -55,7 +56,7 @@ def demo_protocol_processor() -> None:
     payload = np.arange(nbytes // 8, dtype=np.float64)
 
     # TCP baseline.
-    cluster = Cluster.build(ClusterSpec(n_nodes=2))
+    cluster = Experiment().nodes(2).build().cluster
     app = ParallelApp(cluster)
 
     def program(ctx):
@@ -69,7 +70,8 @@ def demo_protocol_processor() -> None:
     tcp_irqs = sum(n.nic.irq.interrupts_delivered for n in cluster.nodes)
 
     # INIC protocol-processor mode.
-    acc, manager = build_acc(2)
+    acc = Experiment().nodes(2).card().build()
+    manager = acc.manager
     manager.configure_all(protocol_processor_design)
     sim = acc.sim
     out = {}
@@ -98,7 +100,8 @@ def demo_protocol_processor() -> None:
 
 def demo_combined() -> None:
     print("== Mode 3: Combined Compute/Protocol ==")
-    cluster, manager = build_acc(2)
+    session = Experiment().nodes(2).card().build()
+    cluster, manager = session.cluster, session.manager
     dt = manager.configure_all(fft_transpose_design)
     design = cluster.nodes[0].require_inic().design
     print(f"  loaded {design.name!r}: cores "

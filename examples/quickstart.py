@@ -1,18 +1,20 @@
 #!/usr/bin/env python
 """Quickstart: a Beowulf cluster vs the same cluster with INICs.
 
-Builds an 8-node Gigabit Ethernet cluster, runs the distributed 2-D FFT
-on plain TCP, then swaps every NIC for an Intelligent NIC and runs the
-same computation with the transpose offloaded into the cards.  Results
-are verified bit-for-bit against the local 2-D FFT.
+Builds an 8-node Gigabit Ethernet cluster through the ``Experiment``
+facade, runs the distributed 2-D FFT on plain TCP, then swaps every NIC
+for an Intelligent NIC and runs the same computation with the transpose
+offloaded into the cards — with telemetry on, so the INIC run can show
+its hardware utilization.  Results are verified bit-for-bit against the
+local 2-D FFT.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
+from repro.api import Experiment
 from repro.apps.fft import baseline_fft2d, fft2d, inic_fft2d
-from repro.core import build_acc, build_beowulf
 from repro.units import fmt_time
 
 N = 256  # matrix size (complex double)
@@ -25,13 +27,13 @@ def main() -> None:
     oracle = fft2d(matrix)
 
     # --- the commodity baseline: standard NICs, TCP, MPI-style alltoall ---
-    beowulf = build_beowulf(P)
-    base_out, base_res = baseline_fft2d(beowulf, matrix)
+    base = Experiment().nodes(P).build()
+    base_out, base_res = baseline_fft2d(base.cluster, matrix)
     assert np.allclose(base_out, oracle, atol=1e-8)
 
     # --- the Adaptable Computing Cluster: an INIC in every node ---
-    acc, manager = build_acc(P)
-    inic_out, inic_res = inic_fft2d(acc, manager, matrix)
+    acc = Experiment().nodes(P).card().telemetry(True).build()
+    inic_out, inic_res = inic_fft2d(acc.cluster, acc.manager, matrix)
     assert np.allclose(inic_out, oracle, atol=1e-8)
 
     print(f"{N}x{N} complex 2-D FFT on {P} simulated nodes")
@@ -46,10 +48,19 @@ def main() -> None:
         )
         print(f"  {label:>5}: {parts}")
     print()
-    causes = sum(n.nic.irq.causes_raised for n in beowulf.nodes)
-    completions = manager.total_completion_interrupts()
+    causes = sum(n.nic.irq.causes_raised for n in base.nodes)
+    completions = acc.manager.total_completion_interrupts()
     print(f"host interrupt causes: {causes} (GigE) vs {completions} (INIC)")
     print("results verified against the serial FFT: OK")
+    print()
+    metrics = acc.metrics()
+    print(
+        f"telemetry: {len(acc.registry)} instruments on the INIC run, e.g. "
+        f"node0 card bus busy {fmt_time(metrics['node0.pci.busy_time'])}, "
+        f"uplink {metrics['node0.inic.uplink.bytes'] / 1024:.0f} KiB"
+    )
+    print("(session.report() prints the full table; session.export_trace()")
+    print(" writes a Chrome/Perfetto trace — see docs/observability.md)")
 
 
 if __name__ == "__main__":

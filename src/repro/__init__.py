@@ -5,9 +5,11 @@ The package simulates an Adaptable Computing Cluster: Beowulf nodes
 whose network interfaces carry FPGA-based reconfigurable computing
 (Intelligent NICs).  Start here::
 
-    from repro.core import build_acc, build_beowulf
+    from repro.api import Experiment, ACEII_PROTOTYPE
     from repro.apps.fft import baseline_fft2d, inic_fft2d
     from repro.apps.sort import baseline_sort, inic_sort
+
+    session = Experiment().nodes(8).card(ACEII_PROTOTYPE).telemetry(True).build()
 
 Layers (see DESIGN.md for the full map):
 
@@ -21,6 +23,8 @@ Layers (see DESIGN.md for the full map):
 * :mod:`repro.apps`      — 2-D FFT, integer sort, and extensions
 * :mod:`repro.models`    — the paper's analytical models (Eqs. 3-17)
 * :mod:`repro.bench`     — per-figure reproduction harnesses
+* :mod:`repro.telemetry` — metrics registry, timelines, Perfetto export
+* :mod:`repro.api`       — the ``Experiment``/``Session`` facade
 """
 
 __version__ = "1.0.0"

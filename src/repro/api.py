@@ -1,0 +1,45 @@
+"""``repro.api`` — the public facade in one import.
+
+Everything an experiment script needs::
+
+    from repro.api import Experiment, ACEII_PROTOTYPE, FaultSpec
+
+    session = (
+        Experiment()
+        .nodes(8)
+        .card(ACEII_PROTOTYPE)
+        .telemetry(True)
+        .build()
+    )
+    # ... run an application against session.cluster / session.manager ...
+    print(session.report())
+    session.export_trace("fig4b.trace.json")
+
+The legacy entry points (``build_acc``/``build_beowulf``) are re-exported
+for compatibility but emit :class:`DeprecationWarning`.
+"""
+
+from .cluster.builder import ClusterSpec, NodeHardware, athlon_node
+from .core.api import Experiment, Session, build_acc, build_beowulf
+from .faults import FaultSpec
+from .inic.card import ACEII_PROTOTYPE, CardSpec, IDEAL_INIC
+from .net.fabric import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkTechnology
+from .protocols.tcp import TCPConfig
+
+__all__ = [
+    "ACEII_PROTOTYPE",
+    "CardSpec",
+    "ClusterSpec",
+    "Experiment",
+    "FAST_ETHERNET",
+    "FaultSpec",
+    "GIGABIT_ETHERNET",
+    "IDEAL_INIC",
+    "NetworkTechnology",
+    "NodeHardware",
+    "Session",
+    "TCPConfig",
+    "athlon_node",
+    "build_acc",
+    "build_beowulf",
+]

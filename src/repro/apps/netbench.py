@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from ..cluster.app import ParallelApp
 from ..cluster.builder import Cluster, ClusterSpec
-from ..core.api import build_acc
+from ..core.api import Experiment
 from ..core.design import protocol_processor_design
 from ..core.manager import INICManager
 from ..errors import ApplicationError
@@ -101,9 +101,9 @@ def tcp_stream(
 
 
 def _acc_pair(card: CardSpec) -> tuple:
-    cluster, manager = build_acc(2, card=card)
-    manager.configure_all(protocol_processor_design)
-    return cluster, manager
+    session = Experiment().nodes(2).card(card).build()
+    session.manager.configure_all(protocol_processor_design)
+    return session.cluster, session.manager
 
 
 def inic_pingpong(

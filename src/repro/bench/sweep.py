@@ -185,6 +185,8 @@ _FAMILY_DEPS: dict[str, tuple[str, ...]] = {
         "repro.apps",
         "repro.core",
         "repro.models",
+        "repro.telemetry",
+        "repro.config",
         "repro.units",
         "repro.errors",
     ),
@@ -368,6 +370,34 @@ def _fallback_faults(faults):
     return fb if fb.enabled else None
 
 
+def _point_session(n: int, p: dict, card=None, network=None, faults=None):
+    """Build one point's cluster through the experiment facade.
+
+    An optional ``telemetry: true`` params flag instruments the cluster.
+    Observation is pull-based, so makespans and event counts are
+    unchanged; instrumented points hash differently, which is correct —
+    their results carry an extra ``metrics`` payload."""
+    from ..core.api import Experiment
+
+    exp = Experiment().nodes(n).card(card).faults(faults)
+    if network is not None:
+        exp = exp.network(network)
+    return exp.telemetry(bool(p.get("telemetry"))).build()
+
+
+def _point_value(session, res, **extra) -> dict:
+    """A runner's result payload, with the telemetry snapshot merged in
+    when the point asked for it."""
+    out: dict[str, Any] = {
+        "makespan": res.makespan,
+        "events": session.sim.event_count,
+    }
+    out.update(extra)
+    if session.telemetry_enabled:
+        out["metrics"] = session.metrics()
+    return out
+
+
 @runner("sort-des", family="des")
 def _run_sort_des(p: dict) -> dict:
     """One Fig. 8(b)-style DES point: integer sort on ``p`` nodes.
@@ -384,8 +414,6 @@ def _run_sort_des(p: dict) -> dict:
     import numpy as np
 
     from ..apps.sort import baseline_sort, inic_sort
-    from ..cluster.builder import Cluster, ClusterSpec
-    from ..core.api import build_acc
     from ..errors import ConfigurationError, TransferAborted
 
     g = np.random.default_rng(p["seed"])
@@ -393,61 +421,61 @@ def _run_sort_des(p: dict) -> dict:
     card = _card(p.get("card"))
     faults = _fault_spec(p)
     if faults is None:
+        session = _point_session(p["p"], p, card=card)
         if card is None:
-            cluster = Cluster.build(ClusterSpec(n_nodes=p["p"]))
-            _, res = baseline_sort(cluster, keys)
+            _, res = baseline_sort(session.cluster, keys)
         else:
-            cluster, manager = build_acc(p["p"], card=card)
-            _, res = inic_sort(cluster, manager, keys)
-        return {"makespan": res.makespan, "events": cluster.sim.event_count}
+            _, res = inic_sort(session.cluster, session.manager, keys)
+        return _point_value(session, res)
 
     retries = int(p.get("retries", 8))
     if card is None:
-        cluster = Cluster.build(ClusterSpec(n_nodes=p["p"], faults=faults))
-        _, res = baseline_sort(cluster, keys)
-        return {
-            "makespan": res.makespan,
-            "events": cluster.sim.event_count,
-            "aborted": False,
-            "fallbacks": 0,
-            "faults": _robustness_counters(cluster),
-        }
-    cluster, manager = build_acc(p["p"], card=_recovery_card(card, retries), faults=faults)
+        session = _point_session(p["p"], p, faults=faults)
+        _, res = baseline_sort(session.cluster, keys)
+        return _point_value(
+            session, res, aborted=False, fallbacks=0,
+            faults=_robustness_counters(session.cluster),
+        )
+    session = _point_session(
+        p["p"], p, card=_recovery_card(card, retries), faults=faults
+    )
+    cluster = session.cluster
     try:
-        _, res = inic_sort(cluster, manager, keys)
+        _, res = inic_sort(cluster, session.manager, keys)
     except ConfigurationError:
         # Graceful degradation: the INIC bitstream would not load, so the
         # job runs on the commodity host-TCP path instead.  The failed
         # cluster's elapsed time (the paid-for load attempts) and events
         # are charged on top of the baseline run.
-        fb = Cluster.build(
-            ClusterSpec(n_nodes=p["p"], faults=_fallback_faults(faults))
-        )
-        _, res = baseline_sort(fb, keys)
-        return {
+        fb = _point_session(p["p"], p, faults=_fallback_faults(faults))
+        _, res = baseline_sort(fb.cluster, keys)
+        out = {
             "makespan": cluster.sim.now + res.makespan,
             "events": cluster.sim.event_count + fb.sim.event_count,
             "aborted": False,
             "fallbacks": 1,
             "faults": _merge_counters(
-                _robustness_counters(cluster), _robustness_counters(fb)
+                _robustness_counters(cluster), _robustness_counters(fb.cluster)
             ),
         }
+        if fb.telemetry_enabled:
+            out["metrics"] = fb.metrics()
+        return out
     except TransferAborted:
-        return {
+        out = {
             "makespan": cluster.sim.now,
             "events": cluster.sim.event_count,
             "aborted": True,
             "fallbacks": 0,
             "faults": _robustness_counters(cluster),
         }
-    return {
-        "makespan": res.makespan,
-        "events": cluster.sim.event_count,
-        "aborted": False,
-        "fallbacks": 0,
-        "faults": _robustness_counters(cluster),
-    }
+        if session.telemetry_enabled:
+            out["metrics"] = session.metrics()
+        return out
+    return _point_value(
+        session, res, aborted=False, fallbacks=0,
+        faults=_robustness_counters(cluster),
+    )
 
 
 @runner("fft-des", family="des")
@@ -460,8 +488,6 @@ def _run_fft_des(p: dict) -> dict:
     import numpy as np
 
     from ..apps.fft import baseline_fft2d, inic_fft2d
-    from ..cluster.builder import Cluster, ClusterSpec
-    from ..core.api import build_acc
     from ..errors import ConfigurationError, TransferAborted
 
     rows = p["rows"]
@@ -471,63 +497,59 @@ def _run_fft_des(p: dict) -> dict:
     card = _card(p.get("card"))
     faults = _fault_spec(p)
     if faults is None:
+        session = _point_session(p["p"], p, card=card, network=network)
         if card is None:
-            cluster = Cluster.build(ClusterSpec(n_nodes=p["p"], network=network))
-            _, res = baseline_fft2d(cluster, m)
+            _, res = baseline_fft2d(session.cluster, m)
         else:
-            cluster, manager = build_acc(p["p"], card=card, network=network)
-            _, res = inic_fft2d(cluster, manager, m)
-        return {"makespan": res.makespan, "events": cluster.sim.event_count}
+            _, res = inic_fft2d(session.cluster, session.manager, m)
+        return _point_value(session, res)
 
     retries = int(p.get("retries", 8))
     if card is None:
-        cluster = Cluster.build(
-            ClusterSpec(n_nodes=p["p"], network=network, faults=faults)
+        session = _point_session(p["p"], p, network=network, faults=faults)
+        _, res = baseline_fft2d(session.cluster, m)
+        return _point_value(
+            session, res, aborted=False, fallbacks=0,
+            faults=_robustness_counters(session.cluster),
         )
-        _, res = baseline_fft2d(cluster, m)
-        return {
-            "makespan": res.makespan,
-            "events": cluster.sim.event_count,
-            "aborted": False,
-            "fallbacks": 0,
-            "faults": _robustness_counters(cluster),
-        }
-    cluster, manager = build_acc(
-        p["p"], card=_recovery_card(card, retries), network=network, faults=faults
+    session = _point_session(
+        p["p"], p, card=_recovery_card(card, retries), network=network, faults=faults
     )
+    cluster = session.cluster
     try:
-        _, res = inic_fft2d(cluster, manager, m)
+        _, res = inic_fft2d(cluster, session.manager, m)
     except ConfigurationError:
-        fb = Cluster.build(
-            ClusterSpec(
-                n_nodes=p["p"], network=network, faults=_fallback_faults(faults)
-            )
+        fb = _point_session(
+            p["p"], p, network=network, faults=_fallback_faults(faults)
         )
-        _, res = baseline_fft2d(fb, m)
-        return {
+        _, res = baseline_fft2d(fb.cluster, m)
+        out = {
             "makespan": cluster.sim.now + res.makespan,
             "events": cluster.sim.event_count + fb.sim.event_count,
             "aborted": False,
             "fallbacks": 1,
             "faults": _merge_counters(
-                _robustness_counters(cluster), _robustness_counters(fb)
+                _robustness_counters(cluster), _robustness_counters(fb.cluster)
             ),
         }
+        if fb.telemetry_enabled:
+            out["metrics"] = fb.metrics()
+        return out
     except TransferAborted:
-        return {
+        out = {
             "makespan": cluster.sim.now,
             "events": cluster.sim.event_count,
             "aborted": True,
             "fallbacks": 0,
             "faults": _robustness_counters(cluster),
         }
-    return {
-        "makespan": res.makespan,
-        "events": cluster.sim.event_count,
-        "aborted": False,
-        "fallbacks": 0,
-        "faults": _robustness_counters(cluster),
-    }
+        if session.telemetry_enabled:
+            out["metrics"] = session.metrics()
+        return out
+    return _point_value(
+        session, res, aborted=False, fallbacks=0,
+        faults=_robustness_counters(cluster),
+    )
 
 
 @runner("fft-analytic", family="analytic")
@@ -874,6 +896,9 @@ def build_report(
         for key in ("faults", "aborted", "fallbacks"):
             if key in r.value:
                 entry[key] = r.value[key]
+        # instrumented points carry their flat telemetry snapshot
+        if "metrics" in r.value:
+            entry["metrics"] = r.value["metrics"]
         scenarios[name] = entry
     stats = engine.last_run
     return {
@@ -942,6 +967,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="(figures suite) export per-figure CSVs to this directory",
     )
     parser.add_argument(
+        "--telemetry", action="store_true",
+        help="(perf/faults suites) instrument every point; the flat "
+        "metrics snapshot rides into the report (instrumented points "
+        "hash separately, so un-instrumented caches stay valid)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print per-scenario telemetry tables (implies --telemetry)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="(perf suite) fail if event counts regress vs the reference",
     )
@@ -983,6 +1018,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
     else:
         points = fault_points(scale) if args.suite == "faults" else perf_points(scale)
+        if args.telemetry or args.report:
+            points = [
+                PointSpec(s.kind, s.name, {**s.params, "telemetry": True})
+                for s in points
+            ]
         results = engine.run(points)
         doc = build_report(results, scale.name, engine)
         write_report(doc, args.out)
@@ -1007,6 +1047,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             f"(sweep {doc['sweep_wall_seconds']:.3f}s, jobs={doc['jobs']}) "
             f"-> {args.out}"
         )
+
+        if args.report:
+            from ..telemetry.report import render_snapshot
+
+            for name, r in doc["scenarios"].items():
+                metrics = r.get("metrics")
+                if metrics:
+                    print(f"\n== {name} ==")
+                    print(render_snapshot(metrics))
 
         if args.update_reference:
             write_report(doc, args.reference)

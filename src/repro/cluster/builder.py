@@ -87,11 +87,35 @@ class ClusterSpec:
         if self.n_nodes < 1:
             raise ValueError("cluster needs at least one node")
 
-    def with_inic(self, card: CardSpec = IDEAL_INIC) -> "ClusterSpec":
+    # -- builders ----------------------------------------------------------
+    # Every builder swaps exactly one field on an otherwise-unchanged
+    # copy, so chaining is order-independent by construction:
+    # ``spec.with_inic(c).with_faults(f) == spec.with_faults(f).with_inic(c)``
+    # (tests/test_api_facade.py pins this down).
+
+    def replace(self, **changes) -> "ClusterSpec":
+        """A copy with ``changes`` applied (frozen-dataclass replace)."""
+        return replace(self, **changes)
+
+    def with_inic(self, card: Optional[CardSpec] = IDEAL_INIC) -> "ClusterSpec":
+        """With an INIC in every node (``None`` reverts to NIC+TCP)."""
         return replace(self, inic=card)
 
-    def with_faults(self, faults: FaultSpec) -> "ClusterSpec":
+    def with_faults(self, faults: Optional[FaultSpec]) -> "ClusterSpec":
+        """With a fault scenario (``None`` restores the ideal fabric)."""
         return replace(self, faults=faults)
+
+    def with_network(self, network: NetworkTechnology) -> "ClusterSpec":
+        return replace(self, network=network)
+
+    def with_tcp(self, tcp: TCPConfig) -> "ClusterSpec":
+        return replace(self, tcp=tcp)
+
+    def with_node(self, node: NodeHardware) -> "ClusterSpec":
+        return replace(self, node=node)
+
+    def with_seed(self, seed: int) -> "ClusterSpec":
+        return replace(self, seed=seed)
 
 
 class Cluster:

@@ -1,0 +1,128 @@
+"""Config-normalization helpers: renamed kwargs + JSON round-trips.
+
+The protocol/fault configs (:class:`~repro.protocols.inicproto.INICProtoConfig`,
+:class:`~repro.protocols.raw.RawConfig`,
+:class:`~repro.net.batching.BatchPolicy`, :class:`~repro.faults.FaultSpec`)
+share field conventions — ``max_retries``, ``timeout``, ``seed`` — and a
+``to_json``/``from_json`` round-trip.  This module provides the plumbing:
+
+* :func:`renamed_kwargs` — a class decorator that keeps old constructor
+  kwarg names working for one release, emitting ``DeprecationWarning``
+  (the repo's own callers treat that as an error, see pyproject.toml);
+* :func:`config_to_json` / :func:`config_from_json` — recursive
+  dataclass <-> plain-JSON-dict conversion with unknown-key rejection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Any, Type, TypeVar
+
+from .errors import ReproError
+
+__all__ = [
+    "ConfigError",
+    "renamed_kwargs",
+    "config_to_json",
+    "config_from_json",
+]
+
+T = TypeVar("T")
+
+
+class ConfigError(ReproError):
+    """A malformed config document or unknown config field."""
+
+
+def renamed_kwargs(**old_to_new: str):
+    """Class decorator: accept deprecated constructor kwarg names.
+
+    ``@renamed_kwargs(nack_timeout="timeout")`` lets callers keep
+    passing ``nack_timeout=`` for one release; the value is forwarded to
+    ``timeout`` with a :class:`DeprecationWarning`.  Passing both names
+    raises ``TypeError``.  Works on frozen dataclasses — only
+    ``__init__`` is wrapped.
+    """
+
+    def decorate(cls):
+        original_init = cls.__init__
+
+        def __init__(self, *args, **kwargs):
+            for old, new in old_to_new.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{cls.__name__}: got both {old!r} (deprecated) "
+                            f"and {new!r}"
+                        )
+                    warnings.warn(
+                        f"{cls.__name__}({old}=...) is deprecated; "
+                        f"use {new}=...",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            original_init(self, *args, **kwargs)
+
+        __init__.__wrapped__ = original_init
+        cls.__init__ = __init__
+        return cls
+
+    return decorate
+
+
+def _encode(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, tuple):
+        return [_encode(v) for v in value]
+    if isinstance(value, (list, dict, str, int, float, bool)) or value is None:
+        return value
+    raise ConfigError(f"cannot JSON-encode config value {value!r}")
+
+
+def config_to_json(obj: Any) -> dict[str, Any]:
+    """A dataclass config as a plain JSON-safe dict (recursive)."""
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise ConfigError(f"config_to_json needs a dataclass instance, got {obj!r}")
+    return _encode(obj)
+
+
+def config_from_json(cls: Type[T], doc: dict[str, Any]) -> T:
+    """Rebuild a dataclass config from :func:`config_to_json` output.
+
+    Unknown keys are rejected (catching typos and stale documents);
+    nested dataclass fields are rebuilt recursively; lists are restored
+    to tuples where the field was a tuple.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigError(f"{cls.__name__}: config document must be a dict")
+    known = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(doc) - set(known)
+    if unknown:
+        raise ConfigError(f"{cls.__name__}: unknown config fields {sorted(unknown)}")
+    kwargs: dict[str, Any] = {}
+    for name, value in doc.items():
+        f = known[name]
+        if isinstance(value, dict):
+            # Nested dataclass: infer the class from the field's default
+            # (the configs here always default their nested policies).
+            nested = None
+            if f.default is not dataclasses.MISSING and dataclasses.is_dataclass(
+                f.default
+            ):
+                nested = type(f.default)
+            elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                probe = f.default_factory()  # type: ignore[misc]
+                if dataclasses.is_dataclass(probe):
+                    nested = type(probe)
+            if nested is not None:
+                value = config_from_json(nested, value)
+        elif isinstance(value, list) and isinstance(f.default, tuple):
+            value = tuple(tuple(v) if isinstance(v, list) else v for v in value)
+        kwargs[name] = value
+    return cls(**kwargs)

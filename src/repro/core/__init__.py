@@ -1,6 +1,6 @@
 """The offload framework: modes, designs, driver, manager, facade."""
 
-from .api import build_acc, build_beowulf
+from .api import Experiment, Session, build_acc, build_beowulf
 from .design import (
     collective_design,
     compute_design,
@@ -15,9 +15,11 @@ from .manager import INICManager
 from .modes import Mode, validate_mode_cores
 
 __all__ = [
+    "Experiment",
     "HostDriver",
     "INICManager",
     "Mode",
+    "Session",
     "build_acc",
     "build_beowulf",
     "collective_design",

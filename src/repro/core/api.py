@@ -1,28 +1,198 @@
-"""Top-level convenience API.
+"""The experiment facade: one front door to cluster construction.
 
-The two-liner a downstream user starts from::
+The builder a downstream user starts from::
 
-    from repro.core.api import build_acc
-    cluster, manager = build_acc(8)                 # ideal INIC ACC
-    cluster, manager = build_acc(8, card=ACEII_PROTOTYPE)
+    from repro.api import Experiment, ACEII_PROTOTYPE
 
-and the matched baseline::
+    session = Experiment().nodes(8).card(ACEII_PROTOTYPE).build()
+    session.run()
 
-    from repro.core.api import build_beowulf
-    cluster = build_beowulf(8)                      # GigE + TCP
+``Experiment`` is an immutable builder — every method returns a new
+experiment, so chaining order never matters and a base experiment can be
+branched::
+
+    base = Experiment().nodes(8).telemetry(True)
+    acc = base.card()                    # ideal INIC
+    beowulf = base                       # standard NICs + TCP
+
+``build()`` wires the cluster (and, for INIC experiments, the
+:class:`~repro.core.manager.INICManager`), instruments every component
+when telemetry is enabled, and returns a :class:`Session` that owns the
+run loop and the telemetry queries (``metrics()``, ``timeline()``,
+``export_trace()``, ``report()``).
+
+The legacy ``build_acc``/``build_beowulf`` helpers remain as thin
+deprecated wrappers.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-from ..cluster.builder import Cluster, ClusterSpec
+from ..cluster.builder import Cluster, ClusterSpec, NodeHardware
 from ..faults import FaultSpec
 from ..inic.card import CardSpec, IDEAL_INIC
 from ..net.fabric import GIGABIT_ETHERNET, NetworkTechnology
+from ..protocols.tcp import TCPConfig
+from ..telemetry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Timeline,
+    instrument_cluster,
+)
+from ..telemetry.perfetto import export_trace as _export_trace
+from ..telemetry.report import render_metrics, render_utilization
 from .manager import INICManager
 
-__all__ = ["build_acc", "build_beowulf"]
+__all__ = ["Experiment", "Session", "build_acc", "build_beowulf"]
+
+
+class Session:
+    """A built, wired, optionally instrumented cluster ready to run."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        manager: Optional[INICManager],
+        registry: MetricsRegistry,
+    ):
+        self.cluster = cluster
+        #: the INIC manager, or ``None`` for a standard-NIC cluster
+        self.manager = manager
+        #: the metrics registry (:data:`~repro.telemetry.NULL_REGISTRY`
+        #: when telemetry is disabled)
+        self.registry = registry
+
+    # -- run ---------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    @property
+    def trace(self):
+        return self.cluster.trace
+
+    @property
+    def nodes(self):
+        return self.cluster.nodes
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return self.registry.enabled
+
+    def run(self, until=None, max_events=None):
+        """Advance the simulation (delegates to the cluster)."""
+        return self.cluster.run(until=until, max_events=max_events)
+
+    # -- telemetry queries -------------------------------------------------
+    def metrics(self) -> dict[str, float]:
+        """Flat ``{instrument: value}`` snapshot (empty when disabled)."""
+        return self.registry.snapshot()
+
+    def timeline(self) -> Timeline:
+        """Per-phase and per-component utilization tracks for the run."""
+        return Timeline.build(self.cluster.trace, self.registry)
+
+    def export_trace(self, path: str) -> str:
+        """Write a Chrome/Perfetto ``trace_event`` JSON file."""
+        return _export_trace(path, self.cluster.trace, self.registry)
+
+    def report(self) -> str:
+        """Human-readable utilization + metrics tables."""
+        parts = [render_utilization(self.timeline())]
+        if self.registry.enabled:
+            parts.append(render_metrics(self.registry))
+        return "\n\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tele = "on" if self.registry.enabled else "off"
+        return f"<Session {self.cluster!r} telemetry={tele}>"
+
+
+class Experiment:
+    """Immutable builder for a cluster experiment.
+
+    Defaults describe the commodity baseline: Gigabit Ethernet, standard
+    NICs + TCP, no faults, telemetry off.
+    """
+
+    def __init__(
+        self, spec: Optional[ClusterSpec] = None, telemetry: bool = False
+    ):
+        self._spec = spec if spec is not None else ClusterSpec(n_nodes=1)
+        self._telemetry = telemetry
+
+    # -- builder steps (each returns a new Experiment) ---------------------
+    def _with(self, **changes) -> "Experiment":
+        spec = self._spec
+        telemetry = changes.pop("telemetry", self._telemetry)
+        if changes:
+            spec = spec.replace(**changes)
+        return Experiment(spec, telemetry)
+
+    def nodes(self, n: int) -> "Experiment":
+        """Cluster size."""
+        return self._with(n_nodes=n)
+
+    def network(self, tech: NetworkTechnology) -> "Experiment":
+        """Fabric technology (``FAST_ETHERNET`` / ``GIGABIT_ETHERNET``)."""
+        return self._with(network=tech)
+
+    def card(self, spec: Optional[CardSpec] = IDEAL_INIC) -> "Experiment":
+        """Put an INIC card in every node (``None`` reverts to NIC+TCP)."""
+        return self._with(inic=spec)
+
+    def tcp(self, config: TCPConfig) -> "Experiment":
+        """TCP tunables for standard-NIC clusters."""
+        return self._with(tcp=config)
+
+    def node_hardware(self, hw: NodeHardware) -> "Experiment":
+        """Per-node CPU/memory/interrupt parameters."""
+        return self._with(node=hw)
+
+    def seed(self, seed: int) -> "Experiment":
+        """Root seed for the cluster's deterministic random streams."""
+        return self._with(seed=seed)
+
+    def faults(self, spec: Optional[FaultSpec]) -> "Experiment":
+        """Fault-injection scenario (``None`` restores the ideal fabric)."""
+        return self._with(faults=spec)
+
+    def telemetry(self, enabled: bool = True) -> "Experiment":
+        """Instrument every component at build time."""
+        return self._with(telemetry=enabled)
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def spec(self) -> ClusterSpec:
+        """The :class:`ClusterSpec` this experiment would build."""
+        return self._spec
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return self._telemetry
+
+    # -- terminal ----------------------------------------------------------
+    def build(self) -> Session:
+        """Build and wire the cluster; returns a ready :class:`Session`."""
+        cluster = Cluster.build(self._spec)
+        manager = INICManager(cluster) if self._spec.inic is not None else None
+        registry = MetricsRegistry() if self._telemetry else NULL_REGISTRY
+        if registry.enabled:
+            instrument_cluster(registry, cluster, manager)
+        return Session(cluster, manager, registry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Experiment {self._spec!r} telemetry={self._telemetry}>"
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def build_acc(
@@ -32,12 +202,20 @@ def build_acc(
     seed: int = 0x5EED,
     faults: Optional[FaultSpec] = None,
 ) -> tuple[Cluster, INICManager]:
-    """Build an Adaptable Computing Cluster: every node carries an INIC."""
-    spec = ClusterSpec(n_nodes=n_nodes, network=network, seed=seed).with_inic(card)
-    if faults is not None:
-        spec = spec.with_faults(faults)
-    cluster = Cluster.build(spec)
-    return cluster, INICManager(cluster)
+    """Deprecated: use ``Experiment().nodes(n).card(spec).build()``."""
+    _deprecated(
+        "build_acc()", "repro.api.Experiment().nodes(n).card(...).build()"
+    )
+    session = (
+        Experiment()
+        .nodes(n_nodes)
+        .card(card)
+        .network(network)
+        .seed(seed)
+        .faults(faults)
+        .build()
+    )
+    return session.cluster, session.manager
 
 
 def build_beowulf(
@@ -46,8 +224,9 @@ def build_beowulf(
     seed: int = 0x5EED,
     faults: Optional[FaultSpec] = None,
 ) -> Cluster:
-    """Build the commodity baseline: standard NICs + TCP."""
-    spec = ClusterSpec(n_nodes=n_nodes, network=network, seed=seed)
-    if faults is not None:
-        spec = spec.with_faults(faults)
-    return Cluster.build(spec)
+    """Deprecated: use ``Experiment().nodes(n).build()``."""
+    _deprecated("build_beowulf()", "repro.api.Experiment().nodes(n).build()")
+    session = (
+        Experiment().nodes(n_nodes).network(network).seed(seed).faults(faults).build()
+    )
+    return session.cluster

@@ -135,6 +135,24 @@ class FaultSpec:
             doc["outages"] = tuple(tuple(o) for o in doc["outages"])
         return cls(**doc)
 
+    # -- repo-wide config convention ----------------------------------------
+    def to_json(self) -> dict:
+        """JSON-safe dict (round-trips through :meth:`from_json`).
+
+        Unlike :meth:`to_params` — which returns ``None`` for inactive
+        specs to preserve sweep-cache identity — this always emits the
+        full document, matching the other configs' ``to_json``.
+        """
+        doc = asdict(self)
+        doc["outages"] = [list(o) for o in self.outages]
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultSpec":
+        if doc is None:
+            raise FaultConfigError("from_json needs a dict; use from_params for None")
+        return cls.from_params(doc)
+
 
 #: the ideal fabric — every injector hook resolves to "do nothing"
 NO_FAULTS = FaultSpec()

@@ -62,6 +62,12 @@ class CPU:
         self.interrupt_time = 0.0
         self.tasks_run = 0
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this CPU's instruments under ``prefix``."""
+        registry.busy(f"{prefix}.busy_time", lambda: self.busy_time)
+        registry.busy(f"{prefix}.interrupt_time", lambda: self.interrupt_time)
+        registry.counter(f"{prefix}.tasks_run", lambda: self.tasks_run)
+
     # -- interrupt theft ---------------------------------------------------------
     def steal(self, seconds: float) -> None:
         """Charge ``seconds`` of handler time against the CPU.

@@ -53,6 +53,11 @@ class DMAEngine:
         self.transfers = 0
         self.bytes_moved = 0.0
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this DMA channel's instruments under ``prefix``."""
+        registry.counter(f"{prefix}.transfers", lambda: self.transfers)
+        registry.counter(f"{prefix}.bytes", lambda: self.bytes_moved, unit="B")
+
     def transfer(self, nbytes: float):
         """Generator: move ``nbytes``; use as ``yield from dma.transfer(n)``.
 

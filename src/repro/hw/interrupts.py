@@ -90,6 +90,12 @@ class InterruptController:
     def pending(self) -> int:
         return self._pending
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this controller's instruments under ``prefix``."""
+        registry.counter(f"{prefix}.causes", lambda: self.causes_raised)
+        registry.counter(f"{prefix}.delivered", lambda: self.interrupts_delivered)
+        registry.gauge(f"{prefix}.coalescing_ratio", self.coalescing_ratio)
+
     def raise_irq(self, causes: int = 1) -> None:
         """Record ``causes`` new interrupt causes from the device."""
         if causes < 1:

@@ -20,6 +20,12 @@ Raw rates are decimal MB/s as PCI is conventionally quoted.  Real PCI
 achieves roughly 80-90% of raw on long bursts; that derating is applied
 by callers via ``efficiency`` (the paper's own models use "a
 conservative 80%-90% of measured results", Section 4).
+
+Telemetry: every bus built here inherits ``register_telemetry`` from
+its :mod:`repro.sim.bus` class; the cluster instrumenter names the
+node's system bus ``node{r}.pci``.  On INIC nodes the datapath crosses
+the *card's* host-side bus instead, so ``node{r}.pci`` reads that bus
+(see :mod:`repro.telemetry.instruments`).
 """
 
 from __future__ import annotations

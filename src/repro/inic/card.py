@@ -316,6 +316,40 @@ class INICCard:
                 rate = min(rate, core.rate(self.fabric.clock_hz))
         return rate
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this card's instruments under ``prefix``.
+
+        Covers the datapath counters, the card's bus(es) — one shared
+        ``{prefix}.bus`` on the prototype, four per-direction buses on
+        the ideal card — the FPGA fabric, and the uplink wire.
+        """
+        stats = self.stats
+        registry.counter(f"{prefix}.bytes_ingested", lambda: stats.bytes_ingested, unit="B")
+        registry.counter(f"{prefix}.bytes_egressed", lambda: stats.bytes_egressed, unit="B")
+        registry.counter(f"{prefix}.bytes_received", lambda: stats.bytes_received, unit="B")
+        registry.counter(f"{prefix}.bytes_delivered", lambda: stats.bytes_delivered, unit="B")
+        registry.counter(f"{prefix}.frames_sent", lambda: stats.frames_sent)
+        registry.counter(f"{prefix}.frames_received", lambda: stats.frames_received)
+        registry.counter(
+            f"{prefix}.completion_interrupts", lambda: stats.completion_interrupts
+        )
+        registry.gauge(
+            f"{prefix}.peak_memory_bytes", lambda: stats.peak_memory_bytes, unit="B"
+        )
+        registry.counter(f"{prefix}.nacks_sent", lambda: stats.nacks_sent)
+        registry.counter(f"{prefix}.retransmits", lambda: stats.retransmits)
+        registry.counter(f"{prefix}.transfer_aborts", lambda: stats.transfer_aborts)
+        if self.host_tx is self.net_rx:
+            self.host_tx.register_telemetry(registry, f"{prefix}.bus")
+        else:
+            self.host_tx.register_telemetry(registry, f"{prefix}.host-tx")
+            self.host_rx.register_telemetry(registry, f"{prefix}.host-rx")
+            self.net_tx.register_telemetry(registry, f"{prefix}.net-tx")
+            self.net_rx.register_telemetry(registry, f"{prefix}.net-rx")
+        self.fabric.register_telemetry(registry, f"{prefix}.fpga")
+        if self._wire_out is not None:
+            self._wire_out.register_telemetry(registry, f"{prefix}.uplink")
+
     # -- fabric station interface -----------------------------------------------------
     def attach_wire(self, wire: Wire) -> None:
         if self._wire_out is not None:
@@ -610,7 +644,7 @@ class INICCard:
                     stalled_for = op.stalled_polls * self._poll_dt()
                     if proto.max_retries > 0:
                         # Exponential backoff between recovery rounds.
-                        deadline = proto.nack_timeout * (
+                        deadline = proto.timeout * (
                             proto.retry_backoff ** op.retries
                         )
                         if stalled_for >= deadline:

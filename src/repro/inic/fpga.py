@@ -77,6 +77,9 @@ class FPGAFabric:
         self._configured: object = None
         self.configurations = 0
         self.config_failures = 0
+        #: accumulated seconds spent loading bitstreams (every attempt
+        #: pays the full reconfiguration latency, successful or not)
+        self.config_busy_time = 0.0
         #: optional fault hook: ``fn(attempt_index) -> bool`` (True: this
         #: bitstream load fails); installed by the cluster builder from a
         #: scenario's :class:`~repro.faults.FaultPlan`
@@ -109,6 +112,12 @@ class FPGAFabric:
     def current_design(self) -> object:
         return self._configured
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this fabric's instruments under ``prefix``."""
+        registry.busy(f"{prefix}.config_time", lambda: self.config_busy_time)
+        registry.counter(f"{prefix}.configurations", lambda: self.configurations)
+        registry.counter(f"{prefix}.config_failures", lambda: self.config_failures)
+
     def fits(self, clbs: int, ram_kbits: int) -> bool:
         return clbs <= self.total_clbs and ram_kbits <= self.total_ram_kbits
 
@@ -138,6 +147,7 @@ class FPGAFabric:
         self._config_attempts += 1
         if self.config_time > 0:
             yield self.sim.timeout(self.config_time)
+            self.config_busy_time += self.config_time
         if self._config_fault is not None and self._config_fault(attempt):
             self.config_failures += 1
             raise ConfigurationError(

@@ -82,6 +82,18 @@ class BatchPolicy:
         if self.max_quantum < 1:
             raise PacketError(f"max_quantum must be >= 1, got {self.max_quantum}")
 
+    def to_json(self) -> dict:
+        """JSON-safe dict (round-trips through :meth:`from_json`)."""
+        from ..config import config_to_json
+
+        return config_to_json(self)
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "BatchPolicy":
+        from ..config import config_from_json
+
+        return config_from_json(cls, doc)
+
 
 #: protocol-level chunking default: 200 us of pipeline-fill slack keeps
 #: millisecond-scale figure sweeps within a few percent (documented in

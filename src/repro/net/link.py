@@ -120,6 +120,12 @@ class Wire:
             return 0.0
         return min(1.0, self.busy_time / elapsed)
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this wire's instruments under ``prefix``."""
+        registry.busy(f"{prefix}.busy_time", lambda: self.busy_time)
+        registry.counter(f"{prefix}.frames", lambda: self.frames_sent)
+        registry.counter(f"{prefix}.bytes", lambda: self.bytes_sent, unit="B")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Wire {self.name!r} {self.bandwidth:g} B/s>"
 

@@ -126,6 +126,25 @@ class StandardNIC:
         """
         return 0.0 if self._wire_out is None else self._wire_out.bandwidth
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this NIC's instruments under ``prefix``.
+
+        Covers the NIC's own frame counters, both DMA engines
+        (``.txdma``/``.rxdma``), and the attached uplink wire.  The
+        interrupt controller registers separately under the node's
+        ``irq`` prefix (see :mod:`repro.telemetry.instruments`).
+        """
+        stats = self.stats
+        registry.counter(f"{prefix}.tx_frames", lambda: stats.tx_frames)
+        registry.counter(f"{prefix}.tx_bytes", lambda: stats.tx_bytes, unit="B")
+        registry.counter(f"{prefix}.rx_frames", lambda: stats.rx_frames)
+        registry.counter(f"{prefix}.rx_bytes", lambda: stats.rx_bytes, unit="B")
+        registry.counter(f"{prefix}.drops", lambda: stats.rx_ring_drops)
+        self._tx_dma.register_telemetry(registry, f"{prefix}.txdma")
+        self._rx_dma.register_telemetry(registry, f"{prefix}.rxdma")
+        if self._wire_out is not None:
+            self._wire_out.register_telemetry(registry, f"{prefix}.uplink")
+
     # -- host-side API -------------------------------------------------------------
     def transmit(self, frame: Frame):
         """Generator: hand ``frame`` to the NIC (blocks if TX ring full).

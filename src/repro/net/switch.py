@@ -208,6 +208,31 @@ class Switch:
         self._outputs[port].enqueue(frame, ready)
 
     # -- statistics ---------------------------------------------------------------
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register switch-wide and per-output-port instruments.
+
+        Names follow ``{prefix}.port{p}.*`` for ports (the ISSUE's
+        ``switch.port2.drops`` scheme); each port's downlink wire
+        registers under ``{prefix}.port{p}.wire``.
+        """
+        registry.counter(f"{prefix}.drops", self.total_dropped)
+        registry.counter(f"{prefix}.forwarded", self.total_forwarded)
+        for out in self._outputs:
+            p = f"{prefix}.port{out.index}"
+            stats = out.stats
+            registry.counter(f"{p}.frames", lambda s=stats: s.frames_forwarded)
+            registry.counter(f"{p}.bytes", lambda s=stats: s.bytes_forwarded, unit="B")
+            registry.counter(f"{p}.drops", lambda s=stats: s.frames_dropped)
+            registry.counter(
+                f"{p}.dropped_bytes", lambda s=stats: s.bytes_dropped, unit="B"
+            )
+            registry.gauge(
+                f"{p}.max_queue_bytes", lambda s=stats: s.max_queue_bytes, unit="B"
+            )
+            registry.gauge(f"{p}.queued_bytes", lambda o=out: o.queued_bytes, unit="B")
+            if out.wire is not None:
+                out.wire.register_telemetry(registry, f"{p}.wire")
+
     def port_stats(self, port: int) -> PortStats:
         self._check_port(port)
         return self._outputs[port].stats

@@ -28,9 +28,11 @@ The data movement itself is done by the INIC card
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..config import config_from_json, config_to_json, renamed_kwargs
 from ..errors import ProtocolError
 from ..net.addresses import MacAddress
 from ..net.batching import BatchPolicy, DEFAULT_BATCH
@@ -40,9 +42,16 @@ from ..sim.resources import Container
 __all__ = ["INICProtoConfig", "TransferPlan", "CreditGate"]
 
 
+@renamed_kwargs(nack_timeout="timeout")
 @dataclass(frozen=True)
 class INICProtoConfig:
-    """Framing for the custom on-card protocol."""
+    """Framing for the custom on-card protocol.
+
+    Field naming follows the repo-wide convention (``max_retries`` /
+    ``timeout`` / ``retry_backoff``, shared with
+    :class:`~repro.protocols.raw.RawConfig`); the pre-normalization
+    ``nack_timeout`` kwarg is still accepted with a deprecation warning.
+    """
 
     packet_size: int = 1024  # paper, Section 4.2
     headers: int = 8  # built directly on Ethernet; minimal header
@@ -59,8 +68,8 @@ class INICProtoConfig:
     #: runs stay bit-identical.
     max_retries: int = 0
     #: seconds of zero gather progress before the first NACK round
-    nack_timeout: float = 0.005
-    #: multiplier on ``nack_timeout`` between successive rounds
+    timeout: float = 0.005
+    #: multiplier on ``timeout`` between successive rounds
     retry_backoff: float = 2.0
 
     def __post_init__(self) -> None:
@@ -68,8 +77,26 @@ class INICProtoConfig:
             raise ProtocolError("invalid INIC protocol framing")
         if self.max_retries < 0:
             raise ProtocolError("max_retries must be >= 0")
-        if self.nack_timeout <= 0 or self.retry_backoff < 1.0:
+        if self.timeout <= 0 or self.retry_backoff < 1.0:
             raise ProtocolError("invalid recovery timing parameters")
+
+    @property
+    def nack_timeout(self) -> float:
+        """Deprecated alias for :attr:`timeout`."""
+        warnings.warn(
+            "INICProtoConfig.nack_timeout is deprecated; use .timeout",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.timeout
+
+    def to_json(self) -> dict:
+        """JSON-safe dict (round-trips through :meth:`from_json`)."""
+        return config_to_json(self)
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "INICProtoConfig":
+        return config_from_json(cls, doc)
 
 
 class TransferPlan:

@@ -26,9 +26,11 @@ with :class:`~repro.errors.TransferAborted`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..config import config_from_json, config_to_json, renamed_kwargs
 from ..errors import ProtocolError, TransferAborted
 from ..hw.cpu import CPU
 from ..net.addresses import MacAddress
@@ -41,9 +43,17 @@ from .base import Mailbox, MessageView, choose_quantum, next_message_id
 __all__ = ["RawConfig", "RawEthernetStack"]
 
 
+@renamed_kwargs(retransmit_timeout="timeout")
 @dataclass(frozen=True)
 class RawConfig:
-    """Tunables for the raw datagram stack."""
+    """Tunables for the raw datagram stack.
+
+    Field naming follows the repo-wide convention (``max_retries`` /
+    ``timeout`` / ``retry_backoff``, shared with
+    :class:`~repro.protocols.inicproto.INICProtoConfig`); the
+    pre-normalization ``retransmit_timeout`` kwarg is still accepted
+    with a deprecation warning.
+    """
 
     mtu: int = ETHERNET_MTU
     headers: int = 8  # minimal type/length/msg-id header
@@ -59,8 +69,8 @@ class RawConfig:
     #: off by default so ideal-fabric runs stay bit-identical.
     reliable: bool = False
     #: seconds without an ACK before the sender's first full retransmit
-    retransmit_timeout: float = 0.005
-    #: multiplier on ``retransmit_timeout`` between attempts
+    timeout: float = 0.005
+    #: multiplier on ``timeout`` between attempts
     retry_backoff: float = 2.0
     #: retransmit attempts before a send fails with ``TransferAborted``
     max_retries: int = 4
@@ -68,10 +78,28 @@ class RawConfig:
     def __post_init__(self) -> None:
         if self.mtu < 1 or self.headers < 0:
             raise ProtocolError("invalid raw framing configuration")
-        if self.retransmit_timeout <= 0 or self.retry_backoff < 1.0:
+        if self.timeout <= 0 or self.retry_backoff < 1.0:
             raise ProtocolError("invalid raw retransmit timing")
         if self.max_retries < 0:
             raise ProtocolError("max_retries must be >= 0")
+
+    @property
+    def retransmit_timeout(self) -> float:
+        """Deprecated alias for :attr:`timeout`."""
+        warnings.warn(
+            "RawConfig.retransmit_timeout is deprecated; use .timeout",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.timeout
+
+    def to_json(self) -> dict:
+        """JSON-safe dict (round-trips through :meth:`from_json`)."""
+        return config_to_json(self)
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "RawConfig":
+        return config_from_json(cls, doc)
 
 
 class RawEthernetStack:
@@ -111,6 +139,18 @@ class RawEthernetStack:
         self.nacks_received = 0
         self.transfer_aborts = 0
         nic.bind_receiver(self._on_frame)
+
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this stack's instruments under ``prefix``."""
+        registry.counter(f"{prefix}.messages_sent", lambda: self.messages_sent)
+        registry.counter(
+            f"{prefix}.messages_delivered", lambda: self.messages_delivered
+        )
+        registry.counter(f"{prefix}.frames_sent", lambda: self.frames_sent)
+        registry.counter(f"{prefix}.retransmits", lambda: self.retransmits)
+        registry.counter(f"{prefix}.acks_sent", lambda: self.acks_sent)
+        registry.counter(f"{prefix}.nacks_sent", lambda: self.nacks_sent)
+        registry.counter(f"{prefix}.transfer_aborts", lambda: self.transfer_aborts)
 
     def send(
         self, dst: MacAddress, nbytes: int, payload: Any = None, tag: int = 0
@@ -192,7 +232,7 @@ class RawEthernetStack:
         while True:
             if ack.triggered:
                 break
-            deadline = cfg.retransmit_timeout * cfg.retry_backoff ** attempt
+            deadline = cfg.timeout * cfg.retry_backoff ** attempt
             yield self.sim.any_of([ack, self.sim.timeout(deadline)])
             if ack.triggered:
                 break

@@ -353,6 +353,27 @@ class TCPStack:
         self._recv_states: dict[int, _RecvState] = {}
         nic.bind_receiver(self._on_frame)
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this stack's instruments under ``prefix``."""
+        stats = self.stats
+        registry.counter(f"{prefix}.messages_sent", lambda: stats.messages_sent)
+        registry.counter(
+            f"{prefix}.messages_delivered", lambda: stats.messages_delivered
+        )
+        registry.counter(f"{prefix}.data_frames_sent", lambda: stats.data_frames_sent)
+        registry.counter(f"{prefix}.acks_sent", lambda: stats.acks_sent)
+        registry.counter(f"{prefix}.timeouts", lambda: stats.timeouts)
+        registry.counter(
+            f"{prefix}.fast_retransmits", lambda: stats.fast_retransmits
+        )
+        registry.counter(
+            f"{prefix}.retransmitted_frames", lambda: stats.retransmitted_frames
+        )
+        registry.counter(f"{prefix}.bytes_sent", lambda: stats.bytes_sent, unit="B")
+        registry.counter(
+            f"{prefix}.bytes_delivered", lambda: stats.bytes_delivered, unit="B"
+        )
+
     # -- API ---------------------------------------------------------------------
     def send(
         self, dst: MacAddress, nbytes: int, payload: Any = None, tag: int = 0

@@ -75,6 +75,23 @@ class FCFSBus:
     def busy(self) -> bool:
         return self.sim.now < self._busy_until
 
+    def busy_snapshot(self) -> float:
+        """Busy seconds so far, capped at the current sim time.
+
+        ``stats.busy_time`` is charged in full when a transfer is
+        issued, so mid-transfer it can run ahead of the clock; snapshot
+        reads clamp it to what has actually elapsed.
+        """
+        return min(self.stats.busy_time, self.sim.now)
+
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this bus's instruments under ``prefix``."""
+        registry.busy(f"{prefix}.busy_time", self.busy_snapshot)
+        registry.counter(
+            f"{prefix}.bytes", lambda s=self.stats: s.bytes_transferred, unit="B"
+        )
+        registry.counter(f"{prefix}.transfers", lambda s=self.stats: s.transfer_count)
+
     def transfer(self, nbytes: float) -> Event:
         """Move ``nbytes`` across the bus; event fires on completion.
 
@@ -174,6 +191,26 @@ class FairShareBus:
         """Generator form: ``yield from bus.transfer_proc(n)``."""
         yield self.transfer(nbytes, rate_cap)
         return nbytes
+
+    def busy_snapshot(self) -> float:
+        """Busy seconds so far, including the still-open busy period.
+
+        ``stats.busy_time`` is only folded in when the last flow drains;
+        a snapshot taken while flows are active must add the in-flight
+        interval.
+        """
+        busy = self.stats.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return busy
+
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register this bus's instruments under ``prefix``."""
+        registry.busy(f"{prefix}.busy_time", self.busy_snapshot)
+        registry.counter(
+            f"{prefix}.bytes", lambda s=self.stats: s.bytes_transferred, unit="B"
+        )
+        registry.counter(f"{prefix}.transfers", lambda s=self.stats: s.transfer_count)
 
     # -- internals --------------------------------------------------------------
     def _admit(self, flow: _Flow) -> None:

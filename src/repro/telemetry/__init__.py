@@ -1,0 +1,68 @@
+"""Unified telemetry: metrics registry, timelines, exporters.
+
+Every simulated component (CPU, PCI bus, DMA engines, interrupt
+controller, wires, NICs, switch ports, INIC cards, FPGA fabrics, both
+protocol stacks) can register *instruments* — counters, gauges, and
+time-weighted busy accumulators — with a :class:`MetricsRegistry` under
+a stable hierarchical name scheme::
+
+    node0.pci.busy_time
+    node3.inic.fpga.config_time
+    switch.port2.drops
+
+Instruments are *bound reads*: registration stores a callable that pulls
+the component's own statistics at snapshot time, so an enabled registry
+never schedules simulation events and never perturbs event counts or
+makespans.  A disabled session uses :data:`NULL_REGISTRY`, whose every
+operation is a no-op — the zero-cost path the perf gate verifies.
+
+On top of the registry sit:
+
+* :class:`Timeline` — turns trace spans + busy instruments into
+  per-component utilization tracks;
+* :mod:`repro.telemetry.perfetto` — Chrome/Perfetto ``trace_event``
+  JSON export (load the file at https://ui.perfetto.dev);
+* :mod:`repro.telemetry.report` — a human-readable metrics table;
+* a flat ``snapshot()`` dict merged into sweep results and
+  ``BENCH_perf.json`` when a point runs with ``telemetry: true``.
+
+The public entry point is the :class:`~repro.core.api.Experiment`
+facade: ``Experiment().nodes(8).telemetry(True).build()``.
+"""
+
+from .instruments import instrument_cluster
+from .registry import (
+    Instrument,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    TelemetryError,
+    TimeWeighted,
+)
+from .timeline import Timeline, Track
+from .perfetto import (
+    export_trace,
+    phase_totals_from_trace,
+    to_trace_events,
+    validate_trace,
+)
+from .report import render_metrics, render_snapshot, render_utilization
+
+__all__ = [
+    "Instrument",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "TelemetryError",
+    "TimeWeighted",
+    "Timeline",
+    "Track",
+    "export_trace",
+    "instrument_cluster",
+    "phase_totals_from_trace",
+    "render_metrics",
+    "render_snapshot",
+    "render_utilization",
+    "to_trace_events",
+    "validate_trace",
+]

@@ -1,0 +1,196 @@
+"""The metrics registry: named instruments over component statistics.
+
+Design constraints (see ISSUE/docs/observability.md):
+
+* **Deterministic** — an instrument is a pure read over state the
+  simulation already maintains; registering or reading one never touches
+  the event heap, so enabling telemetry cannot change event counts,
+  makespans, or any simulated quantity.
+* **Zero-cost when disabled** — the disabled path is
+  :data:`NULL_REGISTRY`, a shared :class:`NullRegistry` whose methods do
+  nothing; components are simply never asked to register.
+* **Stable names** — hierarchical dotted names (``node0.pci.busy_time``)
+  assigned by the cluster instrumenter
+  (:func:`repro.telemetry.instruments.instrument_cluster`), never by the
+  components themselves, so two clusters always agree on the scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "TelemetryError",
+    "Instrument",
+    "TimeWeighted",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+#: instrument kinds, in the only order reports group by
+KINDS = ("counter", "gauge", "busy")
+
+
+class TelemetryError(ReproError):
+    """A telemetry misuse (duplicate instrument, unknown name, ...)."""
+
+
+@dataclass(frozen=True)
+class Instrument:
+    """One named metric: a kind, a unit, and a bound read."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "busy"
+    read: Callable[[], float]
+    unit: str = ""
+
+    def value(self) -> float:
+        return self.read()
+
+
+class TimeWeighted:
+    """A time-weighted occupancy accumulator.
+
+    Integrates a piecewise-constant quantity (queue depth, bytes in
+    flight) over simulation time: ``update(t, v)`` closes the interval
+    since the previous update at the previous value.  ``average(t)`` is
+    the time-weighted mean over ``[t0, t]``.  Pure arithmetic — no
+    events — so components may update it from hot paths when (and only
+    when) telemetry attached one.
+    """
+
+    __slots__ = ("_t_last", "_t_start", "_value", "integral", "peak")
+
+    def __init__(self, t0: float = 0.0, value: float = 0.0):
+        self._t_start = t0
+        self._t_last = t0
+        self._value = value
+        self.integral = 0.0
+        self.peak = value
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    def update(self, t: float, value: float) -> None:
+        """The quantity becomes ``value`` at time ``t``."""
+        if t > self._t_last:
+            self.integral += self._value * (t - self._t_last)
+            self._t_last = t
+        self._value = value
+        if value > self.peak:
+            self.peak = value
+
+    def average(self, t: float) -> float:
+        """Time-weighted mean over ``[t0, t]``."""
+        span = t - self._t_start
+        if span <= 0:
+            return self._value
+        tail = self._value * max(0.0, t - self._t_last)
+        return (self.integral + tail) / span
+
+
+class MetricsRegistry:
+    """Holds every registered instrument; snapshot-only reads."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self, name: str, kind: str, read: Callable[[], float], unit: str = ""
+    ) -> None:
+        if kind not in KINDS:
+            raise TelemetryError(f"unknown instrument kind {kind!r}; have {KINDS}")
+        if not name or name != name.strip("."):
+            raise TelemetryError(f"bad instrument name {name!r}")
+        if name in self._instruments:
+            raise TelemetryError(f"instrument {name!r} already registered")
+        self._instruments[name] = Instrument(name, kind, read, unit)
+
+    def counter(self, name: str, read: Callable[[], float], unit: str = "") -> None:
+        """A monotonically growing count (frames, drops, interrupts)."""
+        self.register(name, "counter", read, unit)
+
+    def gauge(self, name: str, read: Callable[[], float], unit: str = "") -> None:
+        """A point-in-time level (utilization, peak memory, ratio)."""
+        self.register(name, "gauge", read, unit)
+
+    def busy(self, name: str, read: Callable[[], float], unit: str = "s") -> None:
+        """Accumulated busy/occupied seconds of one component."""
+        self.register(name, "busy", read, unit)
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def instrument(self, name: str) -> Instrument:
+        try:
+            return self._instruments[name]
+        except KeyError:
+            raise TelemetryError(f"no instrument named {name!r}") from None
+
+    def read(self, name: str) -> float:
+        return self.instrument(name).value()
+
+    def names(self, prefix: Optional[str] = None) -> list[str]:
+        """Sorted instrument names, optionally under ``prefix.``."""
+        names = sorted(self._instruments)
+        if prefix is None:
+            return names
+        dotted = prefix + "."
+        return [n for n in names if n == prefix or n.startswith(dotted)]
+
+    def instruments(self, kind: Optional[str] = None) -> Iterable[Instrument]:
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if kind is None or inst.kind == kind:
+                yield inst
+
+    def snapshot(self) -> dict[str, float]:
+        """The flat metrics dict: ``{name: value}``, keys sorted.
+
+        Values are plain ints/floats (JSON-safe); this is what sweep
+        points merge into their results and ``BENCH_perf.json``.
+        """
+        out: dict[str, float] = {}
+        for name in sorted(self._instruments):
+            v = self._instruments[name].value()
+            out[name] = int(v) if isinstance(v, bool) else v
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {len(self._instruments)} instruments>"
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_REGISTRY`) stands in wherever
+    telemetry is off; nothing is stored, nothing is read, and the
+    simulation sees zero extra work.
+    """
+
+    enabled = False
+
+    def register(self, name, kind, read, unit="") -> None:  # noqa: D102
+        return None
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullRegistry (telemetry disabled)>"
+
+
+#: the shared disabled registry
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,166 @@
+"""Tests for the ``repro.api`` experiment facade and config conventions.
+
+Covers the builder's order-independence (and the matching
+``ClusterSpec.with_*`` chaining regression), the deprecated
+``build_acc``/``build_beowulf`` wrappers, the repo-wide config naming
+normalization (``max_retries`` / ``timeout`` / ``seed``; old kwargs
+accepted with ``DeprecationWarning``), and the shared
+``to_json``/``from_json`` round-trip convention.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ACEII_PROTOTYPE,
+    ClusterSpec,
+    Experiment,
+    FAST_ETHERNET,
+    FaultSpec,
+    IDEAL_INIC,
+    Session,
+    build_acc,
+    build_beowulf,
+)
+from repro.config import ConfigError
+from repro.core.manager import INICManager
+from repro.errors import FaultConfigError
+from repro.net.batching import BatchPolicy
+from repro.protocols import INICProtoConfig, RawConfig
+
+
+FAULTS = FaultSpec(seed=5, loss_rate=0.01)
+
+
+# -- builder chaining --------------------------------------------------------------
+def test_experiment_chaining_is_order_independent():
+    a = Experiment().nodes(4).card(ACEII_PROTOTYPE).faults(FAULTS).seed(7)
+    b = Experiment().seed(7).faults(FAULTS).card(ACEII_PROTOTYPE).nodes(4)
+    assert a.spec == b.spec
+    assert a.telemetry_enabled == b.telemetry_enabled
+
+
+def test_experiment_is_immutable():
+    base = Experiment().nodes(8)
+    derived = base.card(IDEAL_INIC).telemetry(True)
+    assert base.spec.inic is None
+    assert not base.telemetry_enabled
+    assert derived.spec.inic is IDEAL_INIC
+    assert derived.telemetry_enabled
+    assert derived.spec.n_nodes == 8
+
+
+def test_experiment_steps_can_revert():
+    exp = Experiment().nodes(2).card(ACEII_PROTOTYPE).faults(FAULTS)
+    reverted = exp.card(None).faults(None)
+    assert reverted.spec == Experiment().nodes(2).spec
+
+
+def test_cluster_spec_with_chaining_is_order_independent():
+    spec = ClusterSpec(n_nodes=4)
+    assert (
+        spec.with_inic(ACEII_PROTOTYPE).with_faults(FAULTS)
+        == spec.with_faults(FAULTS).with_inic(ACEII_PROTOTYPE)
+    )
+    assert (
+        spec.with_network(FAST_ETHERNET).with_seed(3).with_inic(IDEAL_INIC)
+        == spec.with_inic(IDEAL_INIC).with_network(FAST_ETHERNET).with_seed(3)
+    )
+
+
+def test_build_wires_manager_only_for_inic_clusters():
+    beowulf = Experiment().nodes(2).build()
+    assert isinstance(beowulf, Session)
+    assert beowulf.manager is None
+    assert len(beowulf.nodes) == 2
+    assert beowulf.metrics() == {}
+
+    acc = Experiment().nodes(2).card().build()
+    assert isinstance(acc.manager, INICManager)
+    assert acc.nodes[0].inic is not None
+
+
+# -- deprecated wrappers -----------------------------------------------------------
+def test_build_acc_warns_but_still_works():
+    with pytest.warns(DeprecationWarning, match="build_acc"):
+        cluster, manager = build_acc(2)
+    assert isinstance(manager, INICManager)
+    assert len(cluster.nodes) == 2
+    # same cluster the facade would build
+    session = Experiment().nodes(2).card().build()
+    assert cluster.spec == session.cluster.spec
+
+
+def test_build_beowulf_warns_but_still_works():
+    with pytest.warns(DeprecationWarning, match="build_beowulf"):
+        cluster = build_beowulf(2, network=FAST_ETHERNET)
+    assert len(cluster.nodes) == 2
+    assert cluster.nodes[0].inic is None
+    assert cluster.spec == Experiment().nodes(2).network(FAST_ETHERNET).spec
+
+
+def test_facade_run_matches_legacy_wrapper():
+    from repro.apps.fft import baseline_fft2d
+
+    g = np.random.default_rng(2)
+    m = g.standard_normal((16, 16)) + 1j * g.standard_normal((16, 16))
+    _, new_res = baseline_fft2d(Experiment().nodes(2).build().cluster, m)
+    with pytest.warns(DeprecationWarning):
+        legacy = build_beowulf(2)
+    _, old_res = baseline_fft2d(legacy, m)
+    assert new_res.makespan == old_res.makespan
+
+
+# -- renamed config kwargs ---------------------------------------------------------
+def test_inicproto_nack_timeout_kwarg_deprecated():
+    with pytest.warns(DeprecationWarning, match="nack_timeout"):
+        cfg = INICProtoConfig(nack_timeout=0.01)
+    assert cfg.timeout == 0.01
+    with pytest.warns(DeprecationWarning, match="nack_timeout"):
+        assert cfg.nack_timeout == 0.01  # read alias warns too
+    with pytest.raises(TypeError):
+        INICProtoConfig(nack_timeout=0.01, timeout=0.02)
+
+
+def test_rawconfig_retransmit_timeout_kwarg_deprecated():
+    with pytest.warns(DeprecationWarning, match="retransmit_timeout"):
+        cfg = RawConfig(retransmit_timeout=0.25)
+    assert cfg.timeout == 0.25
+    with pytest.warns(DeprecationWarning, match="retransmit_timeout"):
+        assert cfg.retransmit_timeout == 0.25
+    with pytest.raises(TypeError):
+        RawConfig(retransmit_timeout=0.25, timeout=0.5)
+
+
+# -- shared to_json/from_json convention -------------------------------------------
+@pytest.mark.parametrize(
+    "cfg",
+    [
+        INICProtoConfig(packet_size=2048, max_retries=3, timeout=0.01),
+        RawConfig(max_retries=2, timeout=0.125),
+        BatchPolicy(timing_tolerance=50e-6, max_quantum=32),
+        FaultSpec(seed=9, loss_rate=0.02, outages=((0.1, 0.05),)),
+    ],
+)
+def test_config_round_trips_through_json(cfg):
+    doc = cfg.to_json()
+    import json
+
+    json.dumps(doc)  # must be JSON-safe as-is
+    assert type(cfg).from_json(doc) == cfg
+
+
+def test_config_from_json_rejects_unknown_keys():
+    with pytest.raises(ConfigError):
+        BatchPolicy.from_json({"enabled": True, "warp_factor": 9})
+    with pytest.raises(FaultConfigError):
+        FaultSpec.from_json({"seed": 1, "warp_factor": 9})
+
+
+def test_fault_spec_to_json_is_total_unlike_to_params():
+    # to_params keeps sweep-cache identity (None when inactive); to_json
+    # always emits the full document
+    assert FaultSpec().to_params() is None
+    doc = FaultSpec().to_json()
+    assert doc["loss_rate"] == 0.0
+    assert FaultSpec.from_json(doc) == FaultSpec()

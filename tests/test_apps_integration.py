@@ -12,9 +12,14 @@ import pytest
 from repro.apps.fft import baseline_fft2d, fft2d, inic_fft2d
 from repro.apps.sort import baseline_sort, inic_sort, is_sorted
 from repro.cluster import Cluster, ClusterSpec
-from repro.core import build_acc
+from repro.core import Experiment
 from repro.errors import ApplicationError
-from repro.inic import ACEII_PROTOTYPE
+from repro.inic import ACEII_PROTOTYPE, IDEAL_INIC
+
+
+def _acc(n, card=IDEAL_INIC):
+    session = Experiment().nodes(n).card(card).build()
+    return session.cluster, session.manager
 
 
 def random_matrix(n, seed=0):
@@ -38,14 +43,14 @@ def test_baseline_fft_correct(p):
 @pytest.mark.parametrize("p", [1, 2, 4])
 def test_inic_fft_correct(p):
     m = random_matrix(32, seed=p)
-    cluster, manager = build_acc(p)
+    cluster, manager = _acc(p)
     out, _ = inic_fft2d(cluster, manager, m)
     assert np.allclose(out, fft2d(m), atol=1e-8)
 
 
 def test_inic_fft_correct_on_prototype():
     m = random_matrix(64, seed=9)
-    cluster, manager = build_acc(4, card=ACEII_PROTOTYPE)
+    cluster, manager = _acc(4, card=ACEII_PROTOTYPE)
     out, _ = inic_fft2d(cluster, manager, m)
     assert np.allclose(out, fft2d(m), atol=1e-8)
 
@@ -55,7 +60,7 @@ def test_inic_fft_transposes_without_host_interrupt_storm():
     p = 4
     base = Cluster.build(ClusterSpec(n_nodes=p))
     _, base_res = baseline_fft2d(base, m)
-    acc, manager = build_acc(p)
+    acc, manager = _acc(p)
     _, acc_res = inic_fft2d(acc, manager, m)
     # One completion interrupt per transpose per node (2 transposes +
     # nothing else), vs per-packet interrupt causes on the baseline.
@@ -69,7 +74,7 @@ def test_inic_fft_faster_than_baseline_at_paper_size():
     p = 8
     base = Cluster.build(ClusterSpec(n_nodes=p))
     _, base_res = baseline_fft2d(base, m)
-    acc, manager = build_acc(p)
+    acc, manager = _acc(p)
     _, acc_res = inic_fft2d(acc, manager, m)
     assert acc_res.makespan < base_res.makespan
 
@@ -77,7 +82,7 @@ def test_inic_fft_faster_than_baseline_at_paper_size():
 def test_no_switch_loss_under_inic_protocol():
     """Section 4.1's no-loss claim for the custom protocol."""
     m = random_matrix(128)
-    cluster, manager = build_acc(8)
+    cluster, manager = _acc(8)
     inic_fft2d(cluster, manager, m)
     assert cluster.switch.total_dropped() == 0
 
@@ -102,7 +107,7 @@ def test_baseline_sort_correct(p):
 @pytest.mark.parametrize("p", [2, 4])
 def test_inic_sort_correct_ideal(p):
     keys = random_keys(2**14, seed=10 + p)
-    cluster, manager = build_acc(p)
+    cluster, manager = _acc(p)
     parts, _ = inic_sort(cluster, manager, keys)
     out = np.concatenate(parts)
     assert is_sorted(out)
@@ -111,7 +116,7 @@ def test_inic_sort_correct_ideal(p):
 
 def test_inic_sort_correct_prototype_two_phase():
     keys = random_keys(2**15, seed=77)
-    cluster, manager = build_acc(4, card=ACEII_PROTOTYPE)
+    cluster, manager = _acc(4, card=ACEII_PROTOTYPE)
     parts, res = inic_sort(cluster, manager, keys)
     out = np.concatenate(parts)
     assert is_sorted(out)
@@ -134,7 +139,7 @@ def test_inic_sort_offloads_bucket_time():
     p = 4
     base = Cluster.build(ClusterSpec(n_nodes=p))
     _, base_res = baseline_sort(base, keys)
-    acc, manager = build_acc(p)
+    acc, manager = _acc(p)
     _, acc_res = inic_sort(acc, manager, keys)
     assert "sort-phase1" in base_res.breakdown
     assert "sort-phase1" not in acc_res.breakdown

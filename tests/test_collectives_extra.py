@@ -13,7 +13,7 @@ from repro.cluster import (
     reduce,
     scatter,
 )
-from repro.core import build_acc
+from repro.core import Experiment
 from repro.errors import ApplicationError
 
 
@@ -110,7 +110,8 @@ def test_baseline_ifft_round_trip():
 def test_inic_ifft_round_trip():
     g = np.random.default_rng(6)
     m = g.standard_normal((32, 32)) + 1j * g.standard_normal((32, 32))
-    cluster, manager = build_acc(2)
+    session = Experiment().nodes(2).card().build()
+    cluster, manager = session.cluster, session.manager
     out, _ = inic_ifft2d(cluster, manager, m)
     assert np.allclose(out, np.fft.ifft2(m), atol=1e-9)
 

@@ -5,8 +5,13 @@ import pytest
 
 from repro.apps.compute import host_map, inic_map
 from repro.cluster import Cluster, ClusterSpec
-from repro.core import build_acc
+from repro.core import Experiment
 from repro.errors import ApplicationError
+
+
+def _acc(n):
+    session = Experiment().nodes(n).card().build()
+    return session.cluster, session.manager
 
 
 def make_items(n_items=8, n=4096, seed=0):
@@ -21,7 +26,7 @@ def test_host_and_inic_maps_agree():
     items = make_items()
     cluster = Cluster.build(ClusterSpec(n_nodes=4))
     host_out, _ = host_map(cluster, KERNEL, items)
-    acc, manager = build_acc(4)
+    acc, manager = _acc(4)
     inic_out, _ = inic_map(acc, manager, KERNEL, items)
     for a, b in zip(host_out, inic_out):
         assert np.array_equal(a, b)
@@ -34,7 +39,7 @@ def test_inic_map_frees_host_cpu():
     _, host_res = host_map(cluster, KERNEL, items, flops_per_byte=16.0)
     host_busy = sum(n.cpu.busy_time for n in cluster.nodes)
 
-    acc, manager = build_acc(2)
+    acc, manager = _acc(2)
     _, inic_res = inic_map(acc, manager, KERNEL, items)
     inic_busy = sum(n.cpu.busy_time for n in acc.nodes)
     # The offloaded run leaves the host nearly idle.
@@ -54,7 +59,7 @@ def test_empty_items_rejected():
     cluster = Cluster.build(ClusterSpec(n_nodes=2))
     with pytest.raises(ApplicationError):
         host_map(cluster, KERNEL, [])
-    acc, manager = build_acc(2)
+    acc, manager = _acc(2)
     with pytest.raises(ApplicationError):
         inic_map(acc, manager, KERNEL, [])
 
@@ -64,6 +69,6 @@ def test_compute_mode_network_unaffected():
     ... to allow normal network operations' — card compute runs while
     the fabric is idle and no frames are generated."""
     items = make_items(n_items=4)
-    acc, manager = build_acc(2)
+    acc, manager = _acc(2)
     inic_map(acc, manager, KERNEL, items)
     assert all(n.require_inic().stats.frames_sent == 0 for n in acc.nodes)

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    Experiment,
     INICManager,
     Mode,
-    build_acc,
-    build_beowulf,
     collective_design,
     datatype_design,
     fft_transpose_design,
@@ -20,6 +19,11 @@ from repro.errors import ConfigurationError
 from repro.inic import ACEII_PROTOTYPE, IDEAL_INIC, SendBlock
 from repro.net import MacAddress
 from repro.protocols import TransferPlan
+
+
+def _acc(n):
+    session = Experiment().nodes(n).card(IDEAL_INIC).build()
+    return session.cluster, session.manager
 
 
 # --- modes ------------------------------------------------------------------------
@@ -78,7 +82,7 @@ def test_all_factories_validate():
 
 # --- builders / manager ----------------------------------------------------------------
 def test_build_acc_and_configure_all():
-    cluster, manager = build_acc(4)
+    cluster, manager = _acc(4)
     dt = manager.configure_all(fft_transpose_design)
     assert dt == pytest.approx(cluster.nodes[0].require_inic().fabric.config_time)
     assert manager.reconfigurations() == 4
@@ -87,13 +91,13 @@ def test_build_acc_and_configure_all():
 
 
 def test_manager_requires_inic_cluster():
-    cluster = build_beowulf(2)
+    cluster = Experiment().nodes(2).build().cluster
     with pytest.raises(ConfigurationError):
         INICManager(cluster)
 
 
 def test_reconfiguration_counted():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(fft_transpose_design)
     manager.configure_all(lambda: integer_sort_design(IDEAL_INIC))
     assert manager.reconfigurations() == 4
@@ -101,7 +105,7 @@ def test_reconfiguration_counted():
 
 # --- driver --------------------------------------------------------------------------
 def test_driver_exchange_round_trip():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(fft_transpose_design)
     sim = cluster.sim
     payload = np.arange(256, dtype=np.float64)
@@ -137,7 +141,7 @@ def test_driver_exchange_round_trip():
 
 
 def test_driver_protocol_mode_messaging():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(protocol_processor_design)
     sim = cluster.sim
     data = np.arange(5000, dtype=np.uint8)
@@ -161,7 +165,7 @@ def test_driver_protocol_mode_messaging():
 
 
 def test_exchange_records_trace_span():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(fft_transpose_design)
     sim = cluster.sim
     payload = np.zeros(1024, dtype=np.uint8)

@@ -3,15 +3,20 @@
 import numpy as np
 import pytest
 
-from repro.core import build_acc, fft_transpose_design, protocol_processor_design
+from repro.core import Experiment, fft_transpose_design, protocol_processor_design
 from repro.errors import OffloadError
 from repro.inic import SendBlock
 from repro.net import MacAddress
 from repro.protocols import TransferPlan
 
 
+def _acc(n):
+    session = Experiment().nodes(n).card().build()
+    return session.cluster, session.manager
+
+
 def test_duplicate_gather_tag_rejected():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(protocol_processor_design)
     card = manager.driver(0).card
     sim = cluster.sim
@@ -21,7 +26,7 @@ def test_duplicate_gather_tag_rejected():
 
 
 def test_gather_tag_reusable_after_completion():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(protocol_processor_design)
     sim = cluster.sim
     data = np.arange(100, dtype=np.uint8)
@@ -47,7 +52,7 @@ def test_gather_tag_reusable_after_completion():
 
 
 def test_require_core_without_design():
-    cluster, manager = build_acc(1)
+    cluster, manager = _acc(1)
     card = manager.driver(0).card
     from repro.errors import ConfigurationError
 
@@ -56,7 +61,7 @@ def test_require_core_without_design():
 
 
 def test_descriptor_posts_counted():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(fft_transpose_design)
     sim = cluster.sim
     drv = manager.driver(0)
@@ -79,14 +84,14 @@ def test_descriptor_posts_counted():
 
 
 def test_send_message_validates():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(protocol_processor_design)
     with pytest.raises(OffloadError):
         list(manager.driver(0).send_message(MacAddress(1), 0))
 
 
 def test_gather_result_without_assemble_is_payload_map():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(protocol_processor_design)
     sim = cluster.sim
     arr = np.arange(32, dtype=np.int16)
@@ -112,7 +117,7 @@ def test_gather_result_without_assemble_is_payload_map():
 
 
 def test_card_memory_peak_tracked():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(protocol_processor_design)
     sim = cluster.sim
 

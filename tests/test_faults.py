@@ -12,7 +12,7 @@ import dataclasses
 
 import pytest
 
-from repro.core import build_acc, protocol_processor_design
+from repro.core import Experiment, protocol_processor_design
 from repro.errors import (
     ConfigurationError,
     FaultConfigError,
@@ -40,6 +40,11 @@ def _recovery(card, retries=8):
     return dataclasses.replace(
         card, proto=dataclasses.replace(card.proto, max_retries=retries)
     )
+
+
+def _acc(n, card=IDEAL_INIC, faults=None):
+    session = Experiment().nodes(n).card(card).faults(faults).build()
+    return session.cluster, session.manager
 
 
 # -- FaultSpec: validation + sweep embedding ---------------------------------------
@@ -226,7 +231,7 @@ def test_raw_config_validates_recovery_timing():
     from repro.errors import ProtocolError
 
     with pytest.raises(ProtocolError):
-        RawConfig(retransmit_timeout=0.0)
+        RawConfig(timeout=0.0)
     with pytest.raises(ProtocolError):
         RawConfig(retry_backoff=0.5)
     with pytest.raises(ProtocolError):
@@ -256,7 +261,7 @@ def test_raw_reliable_completes_on_ack_without_faults():
 
 def test_raw_reliable_recovers_from_outage_by_timeout_resend():
     sim = Simulator()
-    cfg = RawConfig(reliable=True, retransmit_timeout=0.005, max_retries=4)
+    cfg = RawConfig(reliable=True, timeout=0.005, max_retries=4)
     plan = FaultPlan(FaultSpec(outages=((0.0, 0.002),)))
     _, stacks = _raw_pair(sim, cfg, faults=plan)
     t = {}
@@ -274,14 +279,14 @@ def test_raw_reliable_recovers_from_outage_by_timeout_resend():
     assert stacks[1].messages_delivered == 1
     assert stacks[0].retransmits >= 1
     assert stacks[0].transfer_aborts == 0
-    assert t["acked"] > cfg.retransmit_timeout  # paid at least one timeout
+    assert t["acked"] > cfg.timeout  # paid at least one timeout
     counters = plan.link_counters()
     assert counters["frames_dropped"] > 0
 
 
 def test_raw_reliable_aborts_after_retry_budget():
     sim = Simulator()
-    cfg = RawConfig(reliable=True, retransmit_timeout=0.001, max_retries=1)
+    cfg = RawConfig(reliable=True, timeout=0.001, max_retries=1)
     plan = FaultPlan(FaultSpec(outages=((0.0, 60.0),)))  # dead fabric
     _, stacks = _raw_pair(sim, cfg, faults=plan)
 
@@ -304,7 +309,7 @@ def test_raw_reliable_nack_fast_path_beats_timeout():
     mtu = 1500
     cfg = RawConfig(
         reliable=True,
-        retransmit_timeout=0.5,  # deliberately huge: fast path must win
+        timeout=0.5,  # deliberately huge: fast path must win
         quantum_target_events=10**9,
         max_quantum=1,
         batch=PER_FRAME,
@@ -329,8 +334,8 @@ def test_raw_reliable_nack_fast_path_beats_timeout():
     assert stacks[0].nacks_received == 1
     assert stacks[0].retransmits == 1
     assert stacks[0].retransmitted_bytes == mtu
-    assert t["got"] < cfg.retransmit_timeout
-    assert t["acked"] < cfg.retransmit_timeout
+    assert t["got"] < cfg.timeout
+    assert t["acked"] < cfg.timeout
 
 
 # -- Mailbox failure propagation ---------------------------------------------------
@@ -397,7 +402,7 @@ def test_inic_transfer_recovers_from_loss_via_nacks():
     # than new losses accumulate, so recovery converges well inside the
     # retry budget.
     faults = FaultSpec(seed=11, loss_rate=0.05)
-    cluster, manager = build_acc(2, card=_recovery(IDEAL_INIC), faults=faults)
+    cluster, manager = _acc(2, card=_recovery(IDEAL_INIC), faults=faults)
     manager.configure_all(protocol_processor_design)
     p = _scatter_gather(cluster, manager, 256 * 1024)
     cluster.sim.run(until=p, max_events=10_000_000)
@@ -410,7 +415,7 @@ def test_inic_transfer_recovers_from_loss_via_nacks():
 
 
 def test_inic_gather_aborts_when_retry_budget_exhausted():
-    cluster, manager = build_acc(2, card=_recovery(IDEAL_INIC, retries=2))
+    cluster, manager = _acc(2, card=_recovery(IDEAL_INIC, retries=2))
     manager.configure_all(protocol_processor_design)
     sim = cluster.sim
     plan = TransferPlan(sim, {0: 10_000})  # nobody will send this
@@ -429,7 +434,7 @@ def test_inic_gather_aborts_when_retry_budget_exhausted():
 def test_inic_recovery_run_is_deterministic():
     def run():
         faults = FaultSpec(seed=4, loss_rate=0.1)
-        cluster, manager = build_acc(
+        cluster, manager = _acc(
             2, card=_recovery(IDEAL_INIC), faults=faults
         )
         manager.configure_all(protocol_processor_design)
@@ -447,7 +452,7 @@ def test_inic_recovery_run_is_deterministic():
 
 def test_manager_raises_after_bounded_config_retries():
     faults = FaultSpec(seed=1, config_failure_rate=1.0)
-    cluster, manager = build_acc(2, faults=faults)
+    cluster, manager = _acc(2, faults=faults)
     with pytest.raises(ConfigurationError):
         manager.configure_all(protocol_processor_design)
     # Every card burned its full retry budget (2 attempts each).
@@ -456,7 +461,7 @@ def test_manager_raises_after_bounded_config_retries():
 
 def test_config_failures_pay_reconfiguration_time():
     faults = FaultSpec(seed=1, config_failure_rate=1.0)
-    cluster, manager = build_acc(2, faults=faults)
+    cluster, manager = _acc(2, faults=faults)
     with pytest.raises(ConfigurationError):
         manager.configure_all(protocol_processor_design)
     assert cluster.sim.now > 0  # failed loads are not free

@@ -9,18 +9,23 @@ import numpy as np
 import pytest
 
 from repro.apps.collective import inic_allreduce
-from repro.core import build_acc
+from repro.core import Experiment
 from repro.errors import ApplicationError, OffloadError
 from repro.inic import SendBlock
 from repro.net import MacAddress
 from repro.protocols import TransferPlan
 
 
+def _acc(n):
+    session = Experiment().nodes(n).card().build()
+    return session.cluster, session.manager
+
+
 def test_incast_does_not_drop_with_windows():
     """P-1 cards all sending to rank 0 simultaneously must not overrun
     the root's 128 KiB switch port buffer."""
     p = 8
-    cluster, manager = build_acc(p)
+    cluster, manager = _acc(p)
     contribs = [np.full(32768, float(r)) for r in range(p)]
     out, _ = inic_allreduce(cluster, manager, contribs)
     assert cluster.switch.total_dropped() == 0
@@ -32,7 +37,7 @@ def test_allreduce_matches_numpy_all_ops():
     rng = np.random.default_rng(0)
     contribs = [rng.standard_normal(256) for _ in range(p)]
     for op, fn in (("sum", np.sum), ("max", np.max), ("min", np.min)):
-        cluster, manager = build_acc(p)
+        cluster, manager = _acc(p)
         out, _ = inic_allreduce(cluster, manager, contribs, op=op)
         if op == "sum":
             expected = np.sum(contribs, axis=0)
@@ -44,14 +49,14 @@ def test_allreduce_matches_numpy_all_ops():
 
 
 def test_allreduce_single_node():
-    cluster, manager = build_acc(1)
+    cluster, manager = _acc(1)
     data = np.arange(64, dtype=np.float64)
     out, _ = inic_allreduce(cluster, manager, [data])
     assert np.array_equal(out, data)
 
 
 def test_allreduce_validates_contributions():
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     with pytest.raises(ApplicationError):
         inic_allreduce(cluster, manager, [np.zeros(4)])
     with pytest.raises(ApplicationError):
@@ -61,7 +66,7 @@ def test_allreduce_validates_contributions():
 def test_credits_bound_outstanding_bytes():
     """The sender's per-destination outstanding bytes never exceed the
     window."""
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     from repro.core import protocol_processor_design
 
     manager.configure_all(protocol_processor_design)
@@ -92,7 +97,7 @@ def test_credits_bound_outstanding_bytes():
 def test_stall_guard_fails_loudly_on_lost_data():
     """A gather whose data never arrives fails with OffloadError rather
     than hanging the simulation."""
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     from repro.core import protocol_processor_design
 
     manager.configure_all(protocol_processor_design)
@@ -113,7 +118,7 @@ def test_point_to_point_rate_not_throttled_by_window():
     from repro.core import protocol_processor_design
     from repro.units import MiB
 
-    cluster, manager = build_acc(2)
+    cluster, manager = _acc(2)
     manager.configure_all(protocol_processor_design)
     sim = cluster.sim
     nbytes = 8 * MiB

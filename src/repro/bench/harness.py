@@ -70,13 +70,34 @@ class Scale:
         )
 
     @classmethod
+    def large(cls) -> "Scale":
+        """Scale-out suite: 32-128 nodes on the aggregated fabric.
+
+        Extends the paper's 16-processor envelope to ask where the
+        INIC-vs-TCP gap goes as the star grows.  Key count is divisible
+        by 128 so the sort partitions evenly at every p.
+        """
+        return cls(
+            name="large",
+            fft_sizes=(512,),
+            fft_procs=(32, 64, 128),
+            sort_keys=1 << 21,
+            sort_procs=(32, 64, 128),
+        )
+
+    @classmethod
     def by_name(cls, name: str) -> "Scale":
-        """Look up a named scale (``paper`` / ``bench`` / ``ci``)."""
+        """Look up a named scale (``paper`` / ``bench`` / ``ci`` / ``large``)."""
         try:
-            factory = {"paper": cls.paper, "bench": cls.bench, "ci": cls.ci}[name]
+            factory = {
+                "paper": cls.paper,
+                "bench": cls.bench,
+                "ci": cls.ci,
+                "large": cls.large,
+            }[name]
         except KeyError:
             raise ApplicationError(
-                f"unknown scale {name!r}; have paper, bench, ci"
+                f"unknown scale {name!r}; have paper, bench, ci, large"
             ) from None
         return factory()
 

@@ -54,6 +54,7 @@ __all__ = [
     "canonical_json",
     "perf_points",
     "fault_points",
+    "scale_points",
     "build_report",
     "write_report",
     "main",
@@ -382,6 +383,9 @@ def _point_session(n: int, p: dict, card=None, network=None, faults=None):
     exp = Experiment().nodes(n).card(card).faults(faults)
     if network is not None:
         exp = exp.network(network)
+    fabric = p.get("fabric")
+    if fabric is not None:
+        exp = exp.fabric(fabric)
     return exp.telemetry(bool(p.get("telemetry"))).build()
 
 
@@ -832,6 +836,61 @@ def perf_points(scale) -> list[PointSpec]:
     return specs
 
 
+def scale_points(scale, max_p: Optional[int] = None) -> list[PointSpec]:
+    """The scale-out suite: FFT and integer sort at ``Scale.large``'s
+    32-128 nodes, TCP/GigE baseline vs prototype INIC, both on the
+    aggregated fabric (``fabric: "aggregate"`` — per-port busy-until
+    contention instead of per-wire objects; see
+    :class:`repro.net.fabric.AggregateFabric`).
+
+    ``max_p`` trims the processor axis (the CI smoke job runs just
+    p=32) without changing any point's identity, so the full suite and
+    the smoke job share cache entries.
+    """
+    specs = []
+    for p in scale.sort_procs:
+        if scale.sort_keys % p or (max_p is not None and p > max_p):
+            continue
+        base = {
+            "e_init": scale.sort_keys,
+            "p": p,
+            "seed": 2,
+            "fabric": "aggregate",
+        }
+        specs.append(
+            PointSpec("sort-des", f"scale-sort-gige-p{p}", {**base, "card": None})
+        )
+        specs.append(
+            PointSpec(
+                "sort-des",
+                f"scale-sort-inic-p{p}",
+                {**base, "card": "aceii-prototype"},
+            )
+        )
+    rows = scale.fft_sizes[-1]
+    for p in scale.fft_procs:
+        if rows % p or (max_p is not None and p > max_p):
+            continue
+        base = {
+            "rows": rows,
+            "p": p,
+            "network": "gigabit-ethernet",
+            "seed": 2,
+            "fabric": "aggregate",
+        }
+        specs.append(
+            PointSpec("fft-des", f"scale-fft-gige-p{p}", {**base, "card": None})
+        )
+        specs.append(
+            PointSpec(
+                "fft-des",
+                f"scale-fft-inic-p{p}",
+                {**base, "card": "aceii-prototype"},
+            )
+        )
+    return specs
+
+
 #: NACK/retransmit rounds granted to every fault-suite scenario
 FAULT_SUITE_RETRIES = 8
 #: root seed for the fault suite's derived fault streams
@@ -878,6 +937,13 @@ def fault_points(scale) -> list[PointSpec]:
     return specs
 
 
+def scheduler_kind() -> str:
+    """The scheduler kind new Simulators default to (env-overridable)."""
+    from ..sim.engine import _DEFAULT_SCHEDULER
+
+    return os.environ.get("REPRO_SIM_SCHEDULER") or _DEFAULT_SCHEDULER
+
+
 def build_report(
     results: dict[str, PointResult], scale_name: str, engine: SweepEngine
 ) -> dict[str, Any]:
@@ -890,6 +956,10 @@ def build_report(
             "wall_seconds": round(r.wall_seconds, 4),
             "cached": r.cached,
         }
+        if r.wall_seconds > 0 and r.events:
+            #: host throughput — the human-facing perf headline; event
+            #: counts remain the machine-independent gate
+            entry["events_per_sec"] = round(r.events / r.wall_seconds)
         if "makespan" in r.value:
             entry["makespan"] = r.value["makespan"]
         # fault-scenario points also surface their robustness counters
@@ -903,6 +973,7 @@ def build_report(
     stats = engine.last_run
     return {
         "scale": scale_name,
+        "scheduler": scheduler_kind(),
         "jobs": engine.jobs,
         "repeats": engine.repeats,
         "cache": {
@@ -940,11 +1011,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         prog="python -m repro.bench.sweep", description=__doc__.splitlines()[0]
     )
     parser.add_argument(
-        "--suite", default="perf", choices=["perf", "figures", "faults"],
+        "--suite", default="perf", choices=["perf", "figures", "faults", "scale"],
         help="perf: the regression scenario suite; figures: every paper "
-        "panel; faults: seeded lossy/degraded scenarios with recovery",
+        "panel; faults: seeded lossy/degraded scenarios with recovery; "
+        "scale: the 32-128 node scale-out suite on the aggregated fabric",
     )
-    parser.add_argument("--scale", default="ci", choices=["ci", "bench", "paper"])
+    parser.add_argument(
+        "--scale", default=None, choices=["ci", "bench", "paper", "large"],
+        help="problem-size bundle (default: ci, or large for --suite scale)",
+    )
+    parser.add_argument(
+        "--max-p", type=int, default=None,
+        help="(scale suite) trim the processor axis to <= this many nodes "
+        "(the CI smoke job runs --max-p 32)",
+    )
     parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: os.cpu_count())",
@@ -982,7 +1062,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--tolerance", type=float, default=0.10)
     parser.add_argument(
-        "--reference", default=os.path.join("benchmarks", "perf_reference.json")
+        "--reference", default=None,
+        help="event-count reference (default: benchmarks/perf_reference.json, "
+        "or benchmarks/scale_reference.json for --suite scale)",
     )
     parser.add_argument("--update-reference", action="store_true")
     parser.add_argument(
@@ -991,6 +1073,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.scale is None:
+        args.scale = "large" if args.suite == "scale" else "ci"
+    if args.reference is None:
+        name = "scale_reference.json" if args.suite == "scale" else "perf_reference.json"
+        args.reference = os.path.join("benchmarks", name)
     scale = Scale.by_name(args.scale)
     engine = SweepEngine(
         jobs=args.jobs,
@@ -1017,7 +1104,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             f"{stats.wall_seconds:.2f}s"
         )
     else:
-        points = fault_points(scale) if args.suite == "faults" else perf_points(scale)
+        if args.suite == "faults":
+            points = fault_points(scale)
+        elif args.suite == "scale":
+            points = scale_points(scale, max_p=args.max_p)
+        else:
+            points = perf_points(scale)
         if args.telemetry or args.report:
             points = [
                 PointSpec(s.kind, s.name, {**s.params, "telemetry": True})
@@ -1095,6 +1187,18 @@ def main(argv: Optional[list[str]] = None) -> int:
             except FileNotFoundError:
                 print(f"no reference at {args.reference}; run --update-reference")
                 return 1
+            if args.suite == "scale" and args.max_p is not None:
+                # The smoke job trims the processor axis; gate only the
+                # points it actually selected (names are trim-stable).
+                selected = {s.name for s in points}
+                reference = {
+                    **reference,
+                    "scenarios": {
+                        k: v
+                        for k, v in reference["scenarios"].items()
+                        if k in selected
+                    },
+                }
             failures = compare(doc, reference, args.tolerance)
             if failures:
                 for f in failures:

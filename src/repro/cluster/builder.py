@@ -19,7 +19,13 @@ from ..hw.interrupts import CoalescePolicy
 from ..hw.memory import CacheLevel, MemoryHierarchy
 from ..hw.pci import pci_32_33
 from ..inic.card import CardSpec, IDEAL_INIC, INICCard
-from ..net.fabric import GIGABIT_ETHERNET, NetworkTechnology, build_star
+from ..net.fabric import (
+    GIGABIT_ETHERNET,
+    AggregateFabric,
+    NetworkTechnology,
+    build_aggregate_star,
+    build_star,
+)
 from ..net.nic import StandardNIC
 from ..net.switch import Switch
 from ..protocols.tcp import TCPConfig, TCPStack
@@ -82,10 +88,17 @@ class ClusterSpec:
     #: fault-injection scenario; ``None`` (or an all-default spec) keeps
     #: the ideal fabric with zero extra hooks installed
     faults: Optional[FaultSpec] = None
+    #: fabric fidelity: ``"wire"`` builds the full per-wire star,
+    #: ``"aggregate"`` the O(ports) busy-until model for scale-out runs
+    fabric: str = "wire"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("cluster needs at least one node")
+        if self.fabric not in ("wire", "aggregate"):
+            raise ValueError(
+                f"unknown fabric {self.fabric!r} (choose 'wire' or 'aggregate')"
+            )
 
     # -- builders ----------------------------------------------------------
     # Every builder swaps exactly one field on an otherwise-unchanged
@@ -117,6 +130,10 @@ class ClusterSpec:
     def with_seed(self, seed: int) -> "ClusterSpec":
         return replace(self, seed=seed)
 
+    def with_fabric(self, fabric: str) -> "ClusterSpec":
+        """With the given fabric fidelity (``"wire"`` or ``"aggregate"``)."""
+        return replace(self, fabric=fabric)
+
 
 class Cluster:
     """A built, wired cluster simulation."""
@@ -126,7 +143,7 @@ class Cluster:
         spec: ClusterSpec,
         sim: Simulator,
         nodes: list[Node],
-        switch: Switch,
+        switch: Switch | AggregateFabric,
         trace: TraceRecorder,
         streams: RandomStreams,
         fault_plan: Optional[FaultPlan] = None,
@@ -198,7 +215,8 @@ class Cluster:
                     )
                 stations.append((inic.address, inic))
             nodes.append(Node(sim, rank, cpu, pci, nic=nic, tcp=tcp, inic=inic))
-        switch = build_star(sim, stations, tech=spec.network, faults=plan)
+        builder = build_aggregate_star if spec.fabric == "aggregate" else build_star
+        switch = builder(sim, stations, tech=spec.network, faults=plan)
         return cls(spec, sim, nodes, switch, trace, streams, fault_plan=plan)
 
     def run(self, until=None, max_events=None):

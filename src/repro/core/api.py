@@ -159,6 +159,11 @@ class Experiment:
         """Fault-injection scenario (``None`` restores the ideal fabric)."""
         return self._with(faults=spec)
 
+    def fabric(self, kind: str) -> "Experiment":
+        """Fabric fidelity: ``"wire"`` (full star, the default) or
+        ``"aggregate"`` (O(ports) busy-until model for scale-out runs)."""
+        return self._with(fabric=kind)
+
     def telemetry(self, enabled: bool = True) -> "Experiment":
         """Instrument every component at build time."""
         return self._with(telemetry=enabled)

@@ -97,12 +97,13 @@ class CPU:
         """
         if seconds < 0:
             raise HardwareError(f"negative compute time {seconds!r}")
-        req = yield from self.core.acquire()
+        req = self.core.request()
+        yield req
         try:
             start = self.sim.now
             remaining = seconds + self._consume_backlog()
             while remaining > 0:
-                yield self.sim.timeout(remaining)
+                yield self.sim.sleep(remaining)
                 # Interrupts may have stolen time while we "ran".
                 remaining = self._consume_backlog()
             self.busy_time += self.sim.now - start

@@ -81,7 +81,8 @@ class InterruptController:
         self.handler = handler
         self.name = name
         self._pending = 0
-        self._timer_generation = 0
+        #: pending coalesce timer (``call_after`` handle), if armed
+        self._timer: Optional[list] = None
         # -- statistics ----------------------------------------------------
         self.causes_raised = 0
         self.interrupts_delivered = 0
@@ -111,20 +112,21 @@ class InterruptController:
             self._arm_timer()
 
     def _arm_timer(self) -> None:
-        self._timer_generation += 1
-        generation = self._timer_generation
+        self._timer = self.sim.call_after(self.policy.delay, self._fire_timer)
 
-        def _fire() -> None:
-            if generation != self._timer_generation:
-                return  # superseded: a threshold delivery already happened
-            if self._pending > 0:
-                self._deliver()
-
-        self.sim.schedule_callback(self.policy.delay, _fire, name=f"{self.name}.coalesce")
+    def _fire_timer(self) -> None:
+        self._timer = None
+        if self._pending > 0:
+            self._deliver()
 
     def _deliver(self) -> None:
         n, self._pending = self._pending, 0
-        self._timer_generation += 1  # cancel any armed timer
+        timer = self._timer
+        if timer is not None:
+            # Threshold delivery beat the coalesce timer: withdraw it in
+            # O(1) instead of letting a dead timer fire later.
+            self._timer = None
+            self.sim.cancel_callback(timer)
         self.interrupts_delivered += 1
         if self.handler is not None:
             self.handler(n)

@@ -6,6 +6,23 @@ INIC cards) to a freshly created switch and installs static forwarding.
 
 Device contract: ``attach_wire(wire)`` (device transmits on it) and
 ``receive_frame(frame)`` (device terminates the downlink).
+
+Two fidelity levels share that contract:
+
+``build_star``
+    The full model — one :class:`~repro.net.link.Wire` pair per station
+    plus an output-queued :class:`~repro.net.switch.Switch`.  Every hop
+    is its own object with its own timed callbacks.
+
+``build_aggregate_star``
+    The scale-out model (``Scale.large``, 32-128 nodes) — a single
+    :class:`AggregateFabric` that folds uplink serialization, the
+    forwarding decision, and per-output-port queueing into busy-until
+    arithmetic on two floats per port.  A frame costs exactly one timed
+    callback end to end instead of the full model's four, and no
+    per-station wire/port objects exist at all; contention and tail
+    drop are still modelled per port, so congestion curves keep their
+    shape (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -20,12 +37,19 @@ from .addresses import MacAddress
 from .batching import BatchPolicy, WIRE_BATCH
 from .link import Wire
 from .packet import Frame
-from .switch import Switch
+from .switch import PortStats, Switch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults import FaultPlan
 
-__all__ = ["NetworkTechnology", "FAST_ETHERNET", "GIGABIT_ETHERNET", "build_star"]
+__all__ = [
+    "NetworkTechnology",
+    "FAST_ETHERNET",
+    "GIGABIT_ETHERNET",
+    "AggregateFabric",
+    "build_star",
+    "build_aggregate_star",
+]
 
 
 @dataclass(frozen=True)
@@ -121,3 +145,261 @@ def build_star(
                 if wf is not None:
                     wire.install_fault(wf)
     return switch
+
+
+class _AggregateUplink:
+    """Station-side TX handle of an :class:`AggregateFabric`.
+
+    Presents the slice of the :class:`~repro.net.link.Wire` surface the
+    NIC/INIC datapaths actually use (``bandwidth``, ``send``,
+    ``register_telemetry``) while the shared fabric does all timing.
+    Serialization onto the uplink is still FIFO per station — a float
+    ``_busy_until`` instead of a wire object.
+    """
+
+    __slots__ = (
+        "fabric",
+        "port",
+        "name",
+        "bandwidth",
+        "propagation_delay",
+        "_busy_until",
+        "frames_sent",
+        "bytes_sent",
+        "busy_time",
+    )
+
+    def __init__(self, fabric: "AggregateFabric", port: int, name: str):
+        self.fabric = fabric
+        self.port = port
+        self.name = name
+        self.bandwidth = fabric.bandwidth
+        self.propagation_delay = fabric.propagation_delay
+        self._busy_until = 0.0
+        self.frames_sent = 0
+        self.bytes_sent = 0.0
+        self.busy_time = 0.0
+
+    def send(self, frame: Frame) -> float:
+        return self.fabric._send(self, frame)
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def register_telemetry(self, registry, prefix: str) -> None:
+        registry.busy(f"{prefix}.busy_time", lambda: self.busy_time)
+        registry.counter(f"{prefix}.frames", lambda: self.frames_sent)
+        registry.counter(f"{prefix}.bytes", lambda: self.bytes_sent, unit="B")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AggregateUplink {self.name!r} port={self.port}>"
+
+
+class AggregateFabric:
+    """Whole-star contention model in O(ports) floats.
+
+    The full star spends four timed callbacks and three objects' worth
+    of state per frame (uplink wire, output port, downlink wire).  At
+    128 nodes that dominates the event budget without changing any
+    figure: the switch is non-blocking, so the only shared resources
+    are each station's uplink and each output port's drain rate.  This
+    model keeps exactly those two, as ``busy_until`` clocks:
+
+    * **uplink** — ``start = max(now, up.busy_until)``; the frame is on
+      the switch input ``tx_time`` later.
+    * **output port** — arrival is ``start + tx + propagation +
+      forwarding_latency``; the port drains FIFO at line rate, so
+      ``done = max(arrival, out_busy) + tx``.  The backlog *in bytes*
+      at arrival is ``(out_busy - arrival) * bandwidth``; a frame that
+      would stretch it past ``buffer_bytes_per_port`` is tail-dropped,
+      mirroring the full switch's byte-accounted FIFO.
+
+    Delivery is a single pooled ``call_after`` at ``done +
+    propagation``.  Frame trains arrive pre-coalesced by the sending
+    NIC's batch policy; the in-switch train merging of the full model
+    is deliberately absent (it exists to cut event count, and here a
+    frame already costs one event).
+
+    The statistics surface matches :class:`~repro.net.switch.Switch`
+    (``total_dropped``/``port_stats``/telemetry names), so runners and
+    instruments work unchanged on either fabric.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        bandwidth: float,
+        propagation_delay: float = 1e-6,
+        forwarding_latency: float = 4e-6,
+        buffer_bytes_per_port: float = 128 * 1024,
+        name: str = "fabric",
+    ):
+        if n_ports < 1:
+            raise NetworkError("aggregate fabric needs at least one port")
+        if bandwidth <= 0:
+            raise NetworkError(f"fabric bandwidth must be > 0, got {bandwidth}")
+        if buffer_bytes_per_port <= 0:
+            raise NetworkError("fabric buffers must be > 0 bytes")
+        self.sim = sim
+        self.name = name
+        self.n_ports = n_ports
+        self.bandwidth = float(bandwidth)
+        self.propagation_delay = float(propagation_delay)
+        self.forwarding_latency = float(forwarding_latency)
+        self.buffer_bytes_per_port = float(buffer_bytes_per_port)
+        self._uplinks: list[_AggregateUplink] = [
+            _AggregateUplink(self, p, f"{name}.up{p}") for p in range(n_ports)
+        ]
+        self._devices: list[Optional[FrameDevice]] = [None] * n_ports
+        self._out_busy = [0.0] * n_ports
+        self._stats = [PortStats() for _ in range(n_ports)]
+        self._table: dict[MacAddress, int] = {}
+
+    # -- wiring -----------------------------------------------------------------
+    def uplink(self, port: int) -> _AggregateUplink:
+        """The TX handle to hand to the station on ``port``."""
+        self._check_port(port)
+        return self._uplinks[port]
+
+    def attach_station(self, port: int, device: FrameDevice) -> None:
+        """Attach the frame-terminating device of ``port``."""
+        self._check_port(port)
+        if self._devices[port] is not None:
+            raise NetworkError(f"fabric port {port} already attached")
+        self._devices[port] = device
+
+    def learn(self, address: MacAddress, port: int) -> None:
+        """Install a static forwarding entry."""
+        self._check_port(port)
+        self._table[address] = port
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise NetworkError(f"port {port} out of range 0..{self.n_ports - 1}")
+
+    # -- data path ---------------------------------------------------------------
+    def _send(self, uplink: _AggregateUplink, frame: Frame) -> float:
+        sim = self.sim
+        now = sim.now
+        wire_size = frame.wire_size
+        tx_time = wire_size / self.bandwidth
+        start = now if now > uplink._busy_until else uplink._busy_until
+        uplink._busy_until = start + tx_time
+        uplink.frames_sent += frame.frame_count
+        uplink.bytes_sent += wire_size
+        uplink.busy_time += tx_time
+        arrival = start + tx_time + self.propagation_delay + self.forwarding_latency
+        if frame.dst.is_broadcast:
+            last = now
+            for port in range(self.n_ports):
+                if port != uplink.port and self._devices[port] is not None:
+                    last = self._deliver(port, frame.clone_for(frame.dst), arrival, tx_time)
+            return last
+        port = self._table.get(frame.dst)
+        if port is None:
+            raise NetworkError(f"no forwarding entry for {frame.dst}")
+        return self._deliver(port, frame, arrival, tx_time)
+
+    def _deliver(self, port: int, frame: Frame, arrival: float, tx_time: float) -> float:
+        stats = self._stats[port]
+        busy = self._out_busy[port]
+        backlog = (busy - arrival) * self.bandwidth if busy > arrival else 0.0
+        if backlog + frame.wire_size > self.buffer_bytes_per_port:
+            stats.frames_dropped += frame.frame_count
+            stats.bytes_dropped += frame.wire_size
+            return self.sim.now
+        if backlog + frame.wire_size > stats.max_queue_bytes:
+            stats.max_queue_bytes = backlog + frame.wire_size
+        done = (busy if busy > arrival else arrival) + tx_time
+        self._out_busy[port] = done
+        stats.frames_forwarded += frame.frame_count
+        stats.bytes_forwarded += frame.wire_size
+        deliver_at = done + self.propagation_delay
+        device = self._devices[port]
+        if device is None:
+            raise NetworkError(f"fabric port {port} has no station attached")
+        self.sim.call_after(deliver_at - self.sim.now, device.receive_frame, frame)
+        return deliver_at
+
+    # -- statistics ---------------------------------------------------------------
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Register fabric-wide and per-port instruments.
+
+        Uses the same naming scheme as the full switch so dashboards
+        and report code do not care which fabric a session ran on.
+        """
+        registry.counter(f"{prefix}.drops", self.total_dropped)
+        registry.counter(f"{prefix}.forwarded", self.total_forwarded)
+        for port, stats in enumerate(self._stats):
+            p = f"{prefix}.port{port}"
+            registry.counter(f"{p}.frames", lambda s=stats: s.frames_forwarded)
+            registry.counter(f"{p}.bytes", lambda s=stats: s.bytes_forwarded, unit="B")
+            registry.counter(f"{p}.drops", lambda s=stats: s.frames_dropped)
+            registry.counter(
+                f"{p}.dropped_bytes", lambda s=stats: s.bytes_dropped, unit="B"
+            )
+            registry.gauge(
+                f"{p}.max_queue_bytes", lambda s=stats: s.max_queue_bytes, unit="B"
+            )
+
+    def port_stats(self, port: int) -> PortStats:
+        self._check_port(port)
+        return self._stats[port]
+
+    def total_dropped(self) -> int:
+        return sum(s.frames_dropped for s in self._stats)
+
+    def total_dropped_bytes(self) -> float:
+        return sum(s.bytes_dropped for s in self._stats)
+
+    def total_forwarded(self) -> int:
+        return sum(s.frames_forwarded for s in self._stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AggregateFabric {self.name!r} {self.n_ports} ports>"
+
+
+def build_aggregate_star(
+    sim: Simulator,
+    stations: Sequence[tuple[MacAddress, FrameDevice]],
+    tech: NetworkTechnology = GIGABIT_ETHERNET,
+    batch: BatchPolicy = WIRE_BATCH,
+    name: str = "fabric",
+    faults: Optional["FaultPlan"] = None,
+) -> AggregateFabric:
+    """Wire ``stations`` to an :class:`AggregateFabric`.
+
+    Drop-in alternative to :func:`build_star` for scale-out runs.
+    Fault injection needs the per-wire objects of the full model, so a
+    fault plan here is an error rather than a silent no-op.  ``batch``
+    is accepted for signature parity; in-fabric train merging does not
+    exist at this fidelity (see :class:`AggregateFabric`).
+    """
+    if faults is not None:
+        raise NetworkError(
+            "fault injection requires the full wire fabric; "
+            "use fabric='wire' (build_star) for fault scenarios"
+        )
+    if not stations:
+        raise NetworkError("cannot build a fabric with no stations")
+    addresses = [addr for addr, _ in stations]
+    if len(set(a.value for a in addresses)) != len(addresses):
+        raise NetworkError("duplicate station addresses in fabric")
+
+    fabric = AggregateFabric(
+        sim,
+        n_ports=len(stations),
+        bandwidth=tech.bandwidth,
+        propagation_delay=tech.propagation_delay,
+        forwarding_latency=tech.switch_latency,
+        buffer_bytes_per_port=tech.switch_buffer_per_port,
+        name=name,
+    )
+    for port, (addr, device) in enumerate(stations):
+        device.attach_wire(fabric.uplink(port))
+        fabric.attach_station(port, device)
+        fabric.learn(addr, port)
+    return fabric

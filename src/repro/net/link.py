@@ -102,17 +102,19 @@ class Wire:
                 self._busy_until = start + tx_time
                 self.busy_time += tx_time
                 return self._busy_until + self.propagation_delay
-        start = max(self.sim.now, self._busy_until)
-        tx_time = frame.wire_size / self.bandwidth
+        now = self.sim.now
+        start = now if now > self._busy_until else self._busy_until
+        wire_size = frame.wire_size
+        tx_time = wire_size / self.bandwidth
         done_serializing = start + tx_time
         self._busy_until = done_serializing
         deliver_at = done_serializing + self.propagation_delay
         self.frames_sent += frame.frame_count
-        self.bytes_sent += frame.wire_size
+        self.bytes_sent += wire_size
         self.busy_time += tx_time
         # Closure-free pooled delivery: this is the single hottest timed
         # callback in every figure sweep.
-        self.sim.call_after(deliver_at - self.sim.now, sink.receive_frame, frame)
+        self.sim.call_after(deliver_at - now, sink.receive_frame, frame)
         return deliver_at
 
     def utilization(self, elapsed: float) -> float:

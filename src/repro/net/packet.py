@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from ..errors import PacketError
 from .addresses import MacAddress
@@ -87,6 +87,11 @@ class Frame:
     payload: Any = None
     meta: dict[str, Any] = field(default_factory=dict)
     uid: int = field(default_factory=lambda: next(_frame_ids))
+    #: total on-wire bytes (drives serialization time) — computed once
+    #: at construction; the geometry fields are never mutated after
+    #: construction, and this is read several times per frame along the
+    #: fabric path, so a plain attribute beats a memoizing property
+    wire_size: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
@@ -95,11 +100,7 @@ class Frame:
             raise PacketError(f"frame_count must be >= 1, got {self.frame_count}")
         if self.headers < 0:
             raise PacketError(f"negative header size {self.headers}")
-
-    @property
-    def wire_size(self) -> int:
-        """Total on-wire bytes (drives serialization time)."""
-        return wire_bytes(self.payload_bytes, self.headers, self.frame_count)
+        self.wire_size = wire_bytes(self.payload_bytes, self.headers, self.frame_count)
 
     def can_coalesce(self, other: "Frame") -> bool:
         """True if ``other`` is the back-to-back continuation of this frame.

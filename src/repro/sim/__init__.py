@@ -16,31 +16,47 @@ from .engine import (
     Timeout,
     NORMAL,
     URGENT,
+    set_trace_sink,
 )
 from .bus import BusStats, FCFSBus, FairShareBus
 from .rand import RandomStreams
 from .resources import Container, Request, Resource, Store
+from .sched import (
+    CalendarQueue,
+    CalendarScheduler,
+    HeapScheduler,
+    SCHEDULER_KINDS,
+    TimerWheel,
+    make_scheduler,
+)
 from .trace import Span, TraceRecorder, merge_intervals
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "BusStats",
+    "CalendarQueue",
+    "CalendarScheduler",
     "Container",
     "Event",
     "FCFSBus",
     "FairShareBus",
+    "HeapScheduler",
     "NORMAL",
     "Process",
     "RandomStreams",
     "Request",
     "Resource",
+    "SCHEDULER_KINDS",
     "SimulationRunaway",
     "Simulator",
     "Span",
     "Store",
+    "TimerWheel",
     "Timeout",
     "TraceRecorder",
     "URGENT",
+    "make_scheduler",
     "merge_intervals",
+    "set_trace_sink",
 ]

@@ -1,0 +1,185 @@
+"""Kernel diagnostics CLI: scheduler microbenchmark and A/B harness.
+
+Two modes::
+
+    python -m repro.sim --bench          # raw scheduler micro-timings
+    python -m repro.sim --ab             # heap-vs-calendar ordering diff
+
+``--bench`` times the bare scheduler structures (no engine, no models)
+over three operation mixes so a scheduler change can be judged in
+isolation:
+
+* ``hold``    — classic hold model: push N timed events, pop them all.
+* ``churn``   — the timeout pattern: push N timers, cancel 90% before
+  they fire, pop the survivors (the case the timer wheel exists for —
+  a cancelled timer must never be sorted).
+* ``sawtooth`` — interleaved push/pop with monotone time, the shape the
+  run loop actually produces.
+
+``--ab`` executes the ci perf suite twice — once on the reference heap
+scheduler, once on the calendar composite — with the engine's event
+trace sink installed, and diffs the two ``(when, prio, seq, type)``
+streams.  An empty diff is the proof behind the byte-identical
+``results/fig*.csv`` guarantee; any divergence prints the first
+mismatching event and exits 1.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from random import Random
+
+from .sched import SCHEDULER_KINDS, make_scheduler
+
+_MIXES = ("hold", "churn", "sawtooth")
+
+
+def _mix_hold(sched, n: int, rng: Random) -> int:
+    for seq in range(n):
+        sched.push(rng.random(), 1, seq, seq)
+    while sched.pop() is not None:
+        pass
+    return 2 * n  # n pushes + n pops
+
+
+def _mix_churn(sched, n: int, rng: Random) -> int:
+    entries = []
+    for seq in range(n):
+        entries.append(sched.push_timer(rng.random() * 1e-3, 1, seq, seq))
+    cancelled = 0
+    for i, entry in enumerate(entries):
+        if i % 10:  # cancel 9 of every 10 before they fire
+            sched.cancel(entry)
+            cancelled += 1
+    while sched.pop() is not None:
+        pass
+    return n + cancelled + (n - cancelled)
+
+
+def _mix_sawtooth(sched, n: int, rng: Random) -> int:
+    seq = 0
+    now = 0.0
+    for i in range(n):
+        sched.push(now + rng.random() * 1e-4, 1, seq, seq)
+        seq += 1
+        if i & 1:
+            entry = sched.pop()
+            if entry is not None:
+                now = entry[0]
+    while sched.pop() is not None:
+        pass
+    return 2 * n
+
+
+_MIX_FNS = {"hold": _mix_hold, "churn": _mix_churn, "sawtooth": _mix_sawtooth}
+
+
+def run_bench(n: int, seed: int, kinds: tuple[str, ...]) -> int:
+    print(f"scheduler microbenchmark: n={n} seed={seed}")
+    header = f"{'kind':>10} | " + " | ".join(f"{m:>14}" for m in _MIXES)
+    print(header)
+    print("-" * len(header))
+    for kind in kinds:
+        cells = []
+        for mix in _MIXES:
+            sched = make_scheduler(kind)
+            rng = Random(seed)
+            t0 = time.perf_counter()
+            ops = _MIX_FNS[mix](sched, n, rng)
+            dt = time.perf_counter() - t0
+            if len(sched):
+                print(f"FAIL {kind}/{mix}: {len(sched)} entries left queued")
+                return 1
+            cells.append(f"{ops / dt / 1e6:>10.2f}Mo/s")
+        print(f"{kind:>10} | " + " | ".join(cells))
+    print("(Mo/s = million scheduler operations per second, higher is better)")
+    return 0
+
+
+def _run_suite(kind: str, scale_name: str):
+    """Run the perf suite under ``kind``; returns (trace, results)."""
+    from ..bench.harness import Scale
+    from ..bench.sweep import _RUNNERS, perf_points
+    from . import engine
+
+    saved = os.environ.get("REPRO_SIM_SCHEDULER")
+    sink: list = []
+    engine.set_trace_sink(sink)
+    os.environ["REPRO_SIM_SCHEDULER"] = kind
+    try:
+        results = {}
+        for spec in perf_points(Scale.by_name(scale_name)):
+            r = _RUNNERS[spec.kind](spec.params)
+            results[spec.name] = (r["events"], r["makespan"])
+    finally:
+        engine.set_trace_sink(None)
+        if saved is None:
+            os.environ.pop("REPRO_SIM_SCHEDULER", None)
+        else:
+            os.environ["REPRO_SIM_SCHEDULER"] = saved
+    return sink, results
+
+
+def run_ab(scale_name: str) -> int:
+    trace_a, res_a = _run_suite("heap", scale_name)
+    trace_b, res_b = _run_suite("calendar", scale_name)
+    ok = True
+    for name in res_a:
+        if res_a[name] != res_b.get(name):
+            print(f"FAIL {name}: heap {res_a[name]} != calendar {res_b.get(name)}")
+            ok = False
+    if len(trace_a) != len(trace_b):
+        print(f"FAIL trace length: heap {len(trace_a)} != calendar {len(trace_b)}")
+        ok = False
+    for i, (a, b) in enumerate(zip(trace_a, trace_b)):
+        if a != b:
+            print(f"FAIL first divergence at event {i}: heap {a} != calendar {b}")
+            ok = False
+            break
+    if not ok:
+        return 1
+    print(
+        f"PASS heap == calendar: {len(res_a)} scenarios, "
+        f"{len(trace_a)} events order-identical at scale {scale_name!r}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim", description=__doc__.splitlines()[0]
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--bench", action="store_true",
+        help="microbenchmark the raw scheduler structures",
+    )
+    mode.add_argument(
+        "--ab", action="store_true",
+        help="diff heap-vs-calendar event order over the perf suite",
+    )
+    parser.add_argument(
+        "--n", type=int, default=100_000,
+        help="(--bench) events per mix (default 100000)",
+    )
+    parser.add_argument("--seed", type=int, default=0x5EED)
+    parser.add_argument(
+        "--kinds", nargs="+", default=list(SCHEDULER_KINDS),
+        choices=list(SCHEDULER_KINDS), help="(--bench) schedulers to time",
+    )
+    parser.add_argument(
+        "--scale", default="ci", choices=["ci", "bench", "paper"],
+        help="(--ab) suite scale to diff (default ci)",
+    )
+    args = parser.parse_args(argv)
+    if args.bench:
+        return run_bench(args.n, args.seed, tuple(args.kinds))
+    return run_ab(args.scale)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

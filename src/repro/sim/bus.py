@@ -70,6 +70,7 @@ class FCFSBus:
         self.arbitration_latency = float(arbitration_latency)
         self.stats = BusStats()
         self._busy_until: float = 0.0
+        self._xfer_name = f"{name}.xfer"
 
     @property
     def busy(self) -> bool:
@@ -100,16 +101,17 @@ class FCFSBus:
         """
         if nbytes <= 0:
             raise BusError(f"bus transfer of {nbytes} bytes on {self.name!r}")
-        start = max(self.sim.now, self._busy_until)
+        now = self.sim.now
+        start = now if now > self._busy_until else self._busy_until
         duration = self.arbitration_latency + nbytes / self.bandwidth
         finish = start + duration
         self._busy_until = finish
         self.stats.bytes_transferred += nbytes
         self.stats.transfer_count += 1
         self.stats.busy_time += duration
-        # One heap entry: the completion event itself (no trampoline).
-        done = self.sim.event(name=f"{self.name}.xfer")
-        self.sim.succeed_later(done, finish - self.sim.now, nbytes)
+        # One schedule entry: the completion event itself (no trampoline).
+        done = self.sim.event(name=self._xfer_name)
+        self.sim.succeed_later(done, finish - now, nbytes)
         return done
 
     def transfer_proc(self, nbytes: float):
@@ -161,8 +163,10 @@ class FairShareBus:
         self.stats = BusStats()
         self._flows: list[_Flow] = []
         self._last_update: float = 0.0
-        self._generation: int = 0
+        #: pending completion tick (``call_after`` handle), if any
+        self._tick: Optional[list] = None
         self._busy_since: Optional[float] = None
+        self._xfer_name = f"{name}.xfer"
 
     @property
     def active_flows(self) -> int:
@@ -179,7 +183,7 @@ class FairShareBus:
             raise BusError(f"bus transfer of {nbytes} bytes on {self.name!r}")
         if rate_cap <= 0:
             raise BusError(f"non-positive rate cap {rate_cap}")
-        done = self.sim.event(name=f"{self.name}.xfer")
+        done = self.sim.event(name=self._xfer_name)
         flow = _Flow(nbytes, rate_cap, done)
         if self.arbitration_latency > 0:
             self.sim.call_after(self.arbitration_latency, self._admit, flow)
@@ -226,6 +230,11 @@ class FairShareBus:
         n = len(self._flows)
         if n == 0:
             return []
+        if n == 1:
+            # Degenerate water-filling (the common case on NIC DMA
+            # paths): share == full bandwidth, cap applies directly.
+            cap = self._flows[0].rate_cap
+            return [cap if cap <= self.bandwidth else self.bandwidth]
         rates = [0.0] * n
         budget = self.bandwidth
         todo = list(range(n))
@@ -244,9 +253,20 @@ class FairShareBus:
 
     def _advance(self) -> None:
         """Account progress since the last rate change."""
-        dt = self.sim.now - self._last_update
-        self._last_update = self.sim.now
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
         if dt <= 0 or not self._flows:
+            return
+        if len(self._flows) == 1:
+            flow = self._flows[0]
+            cap = flow.rate_cap
+            rate = cap if cap <= self.bandwidth else self.bandwidth
+            moved = rate * dt
+            if moved > flow.remaining:
+                moved = flow.remaining
+            flow.remaining -= moved
+            self.stats.bytes_transferred += moved
             return
         rates = self._rates()
         for flow, rate in zip(self._flows, rates):
@@ -257,39 +277,52 @@ class FairShareBus:
     def _reschedule(self) -> None:
         """Complete finished flows and schedule the next completion.
 
-        Each reschedule bumps a generation counter; ticks scheduled under
-        an older generation are ignored when they fire, which "cancels"
-        them without touching the event heap.
+        A pending completion tick made stale by a membership change is
+        *cancelled* in O(1) via its ``call_after`` handle — the timer
+        wheel drops it without ever sorting it.
         """
-        self._generation += 1
-        generation = self._generation
+        tick = self._tick
+        if tick is not None:
+            self._tick = None
+            self.sim.cancel_callback(tick)
 
-        finished = [f for f in self._flows if f.remaining <= _REMAINING_EPS]
-        self._flows = [f for f in self._flows if f.remaining > _REMAINING_EPS]
-        for f in finished:
-            f.done.succeed(f.nbytes)
+        flows = self._flows
+        finished = [f for f in flows if f.remaining <= _REMAINING_EPS]
+        if finished:
+            flows = self._flows = [f for f in flows if f.remaining > _REMAINING_EPS]
+            for f in finished:
+                f.done.succeed(f.nbytes)
 
-        if not self._flows:
+        if not flows:
             if self._busy_since is not None:
                 self.stats.busy_time += self.sim.now - self._busy_since
                 self._busy_since = None
             return
 
+        if len(flows) == 1:
+            # Single flow: it is the next (and only) completion.
+            flow = flows[0]
+            cap = flow.rate_cap
+            rate = cap if cap <= self.bandwidth else self.bandwidth
+            self._tick = self.sim.call_after(
+                flow.remaining / rate, self._on_tick, flows[:]
+            )
+            return
+
         rates = self._rates()
         next_dt = min(
-            f.remaining / r for f, r in zip(self._flows, rates) if r > 0
+            f.remaining / r for f, r in zip(flows, rates) if r > 0
         )
 
         # The flow(s) chosen to finish at next_dt must actually finish then,
         # independent of rounding in the interim advance.
         finishing = [
-            f for f, r in zip(self._flows, rates) if r > 0 and f.remaining / r == next_dt
+            f for f, r in zip(flows, rates) if r > 0 and f.remaining / r == next_dt
         ]
-        self.sim.call_after(next_dt, self._on_tick, generation, finishing)
+        self._tick = self.sim.call_after(next_dt, self._on_tick, finishing)
 
-    def _on_tick(self, generation: int, finishing: list[_Flow]) -> None:
-        if generation != self._generation:
-            return  # a newer reschedule superseded this tick
+    def _on_tick(self, finishing: list[_Flow]) -> None:
+        self._tick = None
         self._advance()
         for f in finishing:
             f.remaining = 0.0

@@ -54,11 +54,13 @@ inputs yield identical schedules — a property the test suite checks.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
+import sys
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import Interrupt, ProcessError, SimTimeError
+from .sched import make_scheduler
 
 __all__ = [
     "Simulator",
@@ -70,6 +72,7 @@ __all__ = [
     "AllOf",
     "URGENT",
     "NORMAL",
+    "set_trace_sink",
 ]
 
 # Event priorities: URGENT events at a timestamp fire before NORMAL ones.
@@ -81,6 +84,21 @@ _PENDING = object()  # sentinel: event value not yet set
 #: bound on the kernel free lists (Timeout / _Callback recycling)
 _POOL_MAX = 1024
 
+#: default scheduler kind; overridable per-instance or via environment
+_DEFAULT_SCHEDULER = "calendar"
+
+#: module-level event-trace sink (A/B ordering harness).  When set, every
+#: Simulator constructed afterwards appends ``(when, prio, seq, type)``
+#: per dispatched event.  ``python -m repro.sim --ab`` uses this to diff
+#: the heap scheduler against the calendar scheduler.
+_TRACE_SINK: Optional[list] = None
+
+
+def set_trace_sink(sink: Optional[list]) -> None:
+    """Install (or clear) the event-trace sink for new Simulators."""
+    global _TRACE_SINK
+    _TRACE_SINK = sink
+
 
 class SimulationRunaway(SimTimeError):
     """Raised when ``run(max_events=...)`` exceeds its event budget."""
@@ -89,7 +107,7 @@ class SimulationRunaway(SimTimeError):
 class Event:
     """A one-shot occurrence that callbacks and processes can wait on."""
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_entry", "_name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -100,6 +118,8 @@ class Event:
         self._value: Any = _PENDING
         self._ok: bool = True
         self._scheduled = False
+        #: scheduler entry while queued (enables O(1) ``cancel``)
+        self._entry: Optional[list] = None
 
     # -- identity ---------------------------------------------------------------
     @property
@@ -139,7 +159,13 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, priority)
+        # Inlined delay-0 ``Simulator._schedule`` (hot path: every store
+        # handoff, request grant, and process completion lands here).
+        if self._scheduled:
+            raise RuntimeError(f"{self!r} is already scheduled")
+        self._scheduled = True
+        sim = self.sim
+        self._entry = sim._push_now(sim._now, priority, next(sim._seq), self)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -168,6 +194,10 @@ class Event:
         else:
             self.callbacks.append(fn)
 
+    def cancel(self) -> bool:
+        """Withdraw a scheduled-but-unprocessed event; see ``Simulator.cancel``."""
+        return self.sim.cancel(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
             "processed" if self.processed else "triggered" if self.triggered else "pending"
@@ -195,9 +225,10 @@ class Timeout(Event):
         self._value = value
         self._ok = True
         self._scheduled = False
+        self._entry = None
         self.delay = delay
         self._pooled = False
-        sim._schedule(self, NORMAL, delay)
+        sim._schedule_timer(self, delay)
 
     @property
     def name(self) -> str:
@@ -392,11 +423,27 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a heap of scheduled events."""
+    """The event loop: a clock plus a scheduler of pending events.
 
-    def __init__(self):
+    ``scheduler`` picks the priority-queue implementation (see
+    :mod:`repro.sim.sched`): ``"calendar"`` (default) is the calendar
+    ring + timer wheel + now-queue composite, ``"heap"`` the reference
+    binary heap.  Every scheduler honours the same unique
+    ``(time, priority, seq)`` total order, so the choice never changes
+    a schedule — only how fast it executes.  The environment variable
+    ``REPRO_SIM_SCHEDULER`` overrides the default for A/B runs.
+    """
+
+    def __init__(self, scheduler: Optional[str] = None):
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, int, Any]] = []
+        kind = scheduler or os.environ.get("REPRO_SIM_SCHEDULER") or _DEFAULT_SCHEDULER
+        self._sched = make_scheduler(kind)
+        self._sched_kind = kind
+        # Bound-method aliases: the push paths run once per scheduled
+        # event, so the extra attribute hop through ``_sched`` matters.
+        self._push = self._sched.push
+        self._push_timer = self._sched.push_timer
+        self._push_now = self._sched.push_now
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         #: free lists for the two hot-path entry shapes (see module docs)
@@ -404,6 +451,8 @@ class Simulator:
         self._callback_pool: list[_Callback] = []
         #: number of events processed so far (diagnostics / loop guards)
         self.event_count: int = 0
+        #: event-trace sink for the A/B ordering harness (usually None)
+        self._trace = _TRACE_SINK
 
     # -- clock ------------------------------------------------------------------
     @property
@@ -415,6 +464,15 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
+
+    @property
+    def scheduler_kind(self) -> str:
+        """The scheduler implementation this simulator runs on."""
+        return self._sched_kind
+
+    def sched_stats(self) -> dict:
+        """Scheduler-internal counters (live entries, cancels, resizes...)."""
+        return self._sched.stats()
 
     # -- event factories ----------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -445,7 +503,7 @@ class Simulator:
             t._value = None
             t._ok = True
             t._scheduled = False
-            self._schedule(t, NORMAL, delay)
+            self._schedule_timer(t, delay)
             return t
         t = Timeout(self, delay)
         t._pooled = True
@@ -468,7 +526,24 @@ class Simulator:
         if event._scheduled:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+        if delay == 0.0:
+            # Delay-0 events fire at the current time: the composite
+            # scheduler keeps them in plain FIFO deques (already in
+            # (time, prio, seq) order) — no priority-queue work at all.
+            event._entry = self._push_now(self._now, priority, next(self._seq), event)
+        else:
+            event._entry = self._push(
+                self._now + delay, priority, next(self._seq), event
+            )
+
+    def _schedule_timer(self, event: Event, delay: float) -> None:
+        """Schedule the high-churn ``Timeout`` population (timer wheel)."""
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule event in the past (delay={delay!r})")
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        event._entry = self._push_timer(self._now + delay, NORMAL, next(self._seq), event)
 
     def succeed_later(
         self, event: Event, delay: float, value: Any = None, priority: int = NORMAL
@@ -486,13 +561,15 @@ class Simulator:
         self._schedule(event, priority, delay)
         return event
 
-    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> list:
         """Run ``fn(*args)`` after ``delay`` seconds (closure-free).
 
         The fast-path variant of :meth:`schedule_callback`: nothing can
-        wait on the result, no :class:`Event` is allocated, and the heap
-        entry is recycled through a free list.  This is what the wire,
-        switch, and bus models use for their per-frame timed callbacks.
+        wait on the result, no :class:`Event` is allocated, and the
+        scheduler entry is recycled through a free list.  This is what
+        the wire, switch, and bus models use for their per-frame timed
+        callbacks.  Returns an opaque handle accepted by
+        :meth:`cancel_callback`.
         """
         if delay < 0:
             raise SimTimeError(f"cannot schedule callback in the past (delay={delay!r})")
@@ -500,7 +577,45 @@ class Simulator:
         cb = pool.pop() if pool else _Callback()
         cb.fn = fn
         cb.args = args
-        heapq.heappush(self._heap, (self._now + delay, NORMAL, next(self._seq), cb))
+        return self._push_timer(self._now + delay, NORMAL, next(self._seq), cb)
+
+    def cancel_callback(self, handle) -> bool:
+        """Cancel a pending :meth:`call_after`; True if it was withdrawn.
+
+        ``handle`` is the value ``call_after`` returned.  Only valid
+        before the callback fires — holders must clear their reference
+        when the callback runs (the run loop detaches the payload from
+        the entry at dispatch, so a stale cancel is a safe no-op).
+        """
+        cb = handle[3]
+        if cb is None or cb.fn is None:
+            return False
+        self._sched.cancel(handle)
+        cb.fn = None
+        cb.args = ()
+        if len(self._callback_pool) < _POOL_MAX:
+            self._callback_pool.append(cb)
+        return True
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a scheduled-but-unprocessed event from the queue.
+
+        Returns True if the event was queued and is now back to the
+        *pending* state (it may be succeeded/failed again later); False
+        if there was nothing to cancel (never scheduled, already fired,
+        or already cancelled).  O(1) on every scheduler — the timer
+        wheel in particular never sorts a cancelled timer.
+        """
+        entry = event._entry
+        if entry is None or event.callbacks is None or not event._scheduled:
+            return False
+        if entry[3] is not event:
+            return False
+        self._sched.cancel(entry)
+        event._entry = None
+        event._scheduled = False
+        event._value = _PENDING
+        return True
 
     def schedule_callback(
         self, delay: float, fn: Callable[[], None], name: str = "callback"
@@ -516,37 +631,53 @@ class Simulator:
     # -- execution ----------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if none are queued."""
-        return self._heap[0][0] if self._heap else float("inf")
+        t = self._sched.peek_time()
+        return t if t is not None else float("inf")
 
-    def step(self) -> None:
-        """Process exactly one event (slow path; ``run()`` inlines this)."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - heap guarantees monotonicity
-            raise SimTimeError("event heap time went backwards")
-        self._now = when
-        self.event_count += 1
-        if type(event) is _Callback:
-            fn, args = event.fn, event.args
+    def _fire(self, item) -> None:
+        """Dispatch one popped payload — the single copy of the fast paths.
+
+        Both :meth:`step` and :meth:`run` funnel through here, so the
+        ``_Callback`` and pooled-``Timeout`` recycling logic exists
+        exactly once.
+        """
+        if type(item) is _Callback:
+            fn, args = item.fn, item.args
             fn(*args)
-            event.fn = None
-            event.args = ()
-            if len(self._callback_pool) < _POOL_MAX:
-                self._callback_pool.append(event)
+            item.fn = None
+            item.args = ()
+            pool = self._callback_pool
+            if len(pool) < _POOL_MAX:
+                pool.append(item)
             return
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks, item.callbacks = item.callbacks, None
         for fn in callbacks:
-            fn(event)
-        if not event._ok and not callbacks:
+            fn(item)
+        if not item._ok and not callbacks:
             # A failed event nobody waited on: surface the error instead of
             # silently dropping it (mirrors simpy's behaviour).
-            raise event._value
-        if (
-            type(event) is Timeout
-            and event._pooled
-            and len(self._timeout_pool) < _POOL_MAX
-        ):
-            event._value = _PENDING
-            self._timeout_pool.append(event)
+            raise item._value
+        if type(item) is Timeout and item._pooled:
+            pool = self._timeout_pool
+            if len(pool) < _POOL_MAX:
+                item._value = _PENDING
+                pool.append(item)
+
+    def step(self) -> None:
+        """Process exactly one event (slow path; ``run()`` binds locals)."""
+        entry = self._sched.pop()
+        if entry is None:
+            raise IndexError("step from an empty schedule")
+        when = entry[0]
+        if when < self._now:  # pragma: no cover - scheduler order guarantee
+            raise SimTimeError("event schedule time went backwards")
+        self._now = when
+        self.event_count += 1
+        item = entry[3]
+        entry[3] = None  # detach: stale cancel handles become no-ops
+        if self._trace is not None:
+            self._trace.append((when, entry[1], entry[2], type(item).__name__))
+        self._fire(item)
 
     def run(
         self, until: Optional[float | Event] = None, max_events: Optional[int] = None
@@ -587,53 +718,49 @@ class Simulator:
                     f"cannot run until {horizon!r}: clock already at {self._now!r}"
                 )
 
-        # The loop below is step() unrolled with everything in locals —
-        # the per-event overhead here bounds every figure sweep.
-        heap = self._heap
-        heappop = heapq.heappop
-        timeout_pool = self._timeout_pool
-        callback_pool = self._callback_pool
+        # The loop below is step()/_fire() with everything hot bound to
+        # locals and the dominant ``_Callback`` branch inlined — the
+        # per-event overhead here bounds every figure sweep.
+        sched = self._sched
+        pop = sched.pop
+        fire = self._fire
+        trace = self._trace
+        cb_pool = self._callback_pool
+        finite = horizon != float("inf")
+        limit = sys.maxsize if max_events is None else max_events
         processed = 0
         try:
-            while heap:
-                if stop_value:
+            while not stop_value:
+                if finite:
+                    t = sched.peek_time()
+                    if t is None or t > horizon:
+                        # Drained (advance to the horizon) or next event
+                        # beyond it; time-based runs end at the horizon.
+                        self._now = horizon
+                        break
+                entry = pop()
+                if entry is None:
                     break
-                if heap[0][0] > horizon:
-                    self._now = horizon
-                    break
-                when, _prio, _seq, event = heappop(heap)
-                self._now = when
+                self._now = entry[0]
                 processed += 1
-                if type(event) is _Callback:
-                    fn, args = event.fn, event.args
+                item = entry[3]
+                entry[3] = None  # detach: stale cancel handles become no-ops
+                if trace is not None:
+                    trace.append((entry[0], entry[1], entry[2], type(item).__name__))
+                if type(item) is _Callback:
+                    fn = item.fn
+                    args = item.args
+                    item.fn = None
+                    item.args = ()
+                    if len(cb_pool) < _POOL_MAX:
+                        cb_pool.append(item)
                     fn(*args)
-                    event.fn = None
-                    event.args = ()
-                    if len(callback_pool) < _POOL_MAX:
-                        callback_pool.append(event)
                 else:
-                    callbacks, event.callbacks = event.callbacks, None
-                    for fn in callbacks:
-                        fn(event)
-                    if not event._ok and not callbacks:
-                        # A failed event nobody waited on: surface the error
-                        # instead of silently dropping it.
-                        raise event._value
-                    if (
-                        type(event) is Timeout
-                        and event._pooled
-                        and len(timeout_pool) < _POOL_MAX
-                    ):
-                        event._value = _PENDING
-                        timeout_pool.append(event)
-                if max_events is not None and processed >= max_events:
+                    fire(item)
+                if processed >= limit:
                     raise SimulationRunaway(
                         f"exceeded max_events={max_events} (clock at {self._now:g}s)"
                     )
-            else:
-                # Heap drained; advance clock to the horizon for time-based runs.
-                if target is None and horizon != float("inf"):
-                    self._now = horizon
         finally:
             self.event_count += processed
 
@@ -648,5 +775,20 @@ class Simulator:
             raise ev._value
         return None
 
+    # -- observability -----------------------------------------------------------
+    def register_telemetry(self, registry, prefix: str = "sim") -> None:
+        """Register kernel instruments (pull-based; zero cost until read)."""
+        registry.counter(f"{prefix}.events", lambda: float(self.event_count))
+        registry.gauge(f"{prefix}.queued", lambda: float(len(self._sched)))
+        for key in ("cancels", "resizes", "cascades", "far_rebuilds", "reseeds"):
+            if key in self._sched.stats():
+                registry.counter(
+                    f"{prefix}.sched.{key}",
+                    lambda k=key: float(self._sched.stats().get(k, 0)),
+                )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:g}s queued={len(self._heap)}>"
+        return (
+            f"<Simulator t={self._now:g}s queued={len(self._sched)} "
+            f"sched={self._sched_kind}>"
+        )

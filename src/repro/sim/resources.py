@@ -25,7 +25,7 @@ from collections import deque
 from typing import Any, Deque, Optional
 
 from ..errors import SimulationError
-from .engine import Event, Simulator
+from .engine import Event, Simulator, _PENDING
 
 __all__ = ["Resource", "Request", "Store", "Container"]
 
@@ -35,14 +35,34 @@ class Request(Event):
 
     Triggers when the resource grants a slot.  Must be released with
     :meth:`Resource.release` (or used via the ``with``-like helper
-    :meth:`Resource.acquire`).
+    :meth:`Resource.acquire`).  The display name is built lazily —
+    requests are created on the DMA hot path.
     """
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "_t0")
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim, name=f"request({resource.name})")
+        # Inlined Event.__init__ (hot path; name built on demand).
+        self.sim = resource.sim
+        self._name = None
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._scheduled = False
+        self._entry = None
         self.resource = resource
+        #: issue time, for wait accounting in ``Resource._grant``
+        self._t0 = self.sim.now
+
+    @property
+    def name(self) -> str:
+        if self._name is None:
+            return f"request({self.resource.name})"
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
 
 class Resource:
@@ -59,7 +79,6 @@ class Resource:
         # -- statistics ----------------------------------------------------
         self.total_requests = 0
         self.total_wait_time = 0.0
-        self._request_times: dict[Request, float] = {}
 
     @property
     def count(self) -> int:
@@ -75,7 +94,6 @@ class Resource:
         """Claim a slot; the returned event fires when granted."""
         req = Request(self)
         self.total_requests += 1
-        self._request_times[req] = self.sim.now
         if len(self._users) < self.capacity:
             self._grant(req)
         else:
@@ -94,12 +112,10 @@ class Resource:
                 raise SimulationError(
                     f"release of unknown request on {self.name!r}"
                 ) from None
-            self._request_times.pop(request, None)
 
     def _grant(self, req: Request) -> None:
         self._users.add(req)
-        t0 = self._request_times.pop(req, self.sim.now)
-        self.total_wait_time += self.sim.now - t0
+        self.total_wait_time += self.sim.now - req._t0
         req.succeed(req)
 
     def _dispatch(self) -> None:
@@ -176,33 +192,49 @@ class Store:
     def put(self, item: Any) -> Event:
         """Insert ``item``; the returned event fires once it is stored."""
         self.total_puts += 1
-        ev = _StorePut(self.sim, item)
         if self.is_full:
+            ev = _StorePut(self.sim, item)
             self._putters.append(ev)
             return ev
         # Fast path: the item is stored (or handed over) right now, so the
-        # putter's own event resolves inline — zero heap entries for it.
+        # putter's own event resolves inline — zero heap entries for it,
+        # and the event is born already-processed (``__new__`` skips the
+        # callbacks-list allocation ``Event.__init__`` would do).
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
             self.items.append(item)
             if len(self.items) > self.max_occupancy:
                 self.max_occupancy = len(self.items)
-        ev._value = None
+        ev = _StorePut.__new__(_StorePut)
+        ev.sim = self.sim
+        ev._name = "store.put"
         ev.callbacks = None
+        ev._value = None
+        ev._ok = True
+        ev._scheduled = False
+        ev._entry = None
+        ev.item = item
         return ev
 
     def get(self) -> Event:
         """Remove the oldest item; the event's value is the item."""
-        ev = _StoreGet(self.sim, name="store.get")
         self.total_gets += 1
         if self.items:
-            # Fast path: resolve inline (the getter never suspends).
+            # Fast path: resolve inline (the getter never suspends); the
+            # event is born already-processed, no callbacks list needed.
             item = self.items.popleft()
-            ev._value = item
+            ev = _StoreGet.__new__(_StoreGet)
+            ev.sim = self.sim
+            ev._name = "store.get"
             ev.callbacks = None
+            ev._value = item
+            ev._ok = True
+            ev._scheduled = False
+            ev._entry = None
             self._drain_putters()
         else:
+            ev = _StoreGet(self.sim, name="store.get")
             self._getters.append(ev)
         return ev
 

@@ -1,0 +1,159 @@
+"""Unit tests for the aggregated scale-out fabric.
+
+The aggregate fabric is the O(ports) busy-until model behind
+``ClusterSpec.fabric == "aggregate"``; these tests pin its timing
+against the full wire star, its tail-drop accounting, and the
+fault-plan rejection contract.
+"""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.faults import FaultSpec, FaultPlan
+from repro.net import (
+    BROADCAST,
+    Frame,
+    GIGABIT_ETHERNET,
+    MacAddress,
+    build_star,
+)
+from repro.net.fabric import AggregateFabric, build_aggregate_star
+from repro.sim import Simulator
+
+
+class Station:
+    """Minimal FrameDevice for fabric tests."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.wire = None
+        self.got = []
+
+    def attach_wire(self, wire):
+        self.wire = wire
+
+    def receive_frame(self, frame):
+        self.got.append((frame, self.sim.now))
+
+    def send(self, frame):
+        self.wire.send(frame)
+
+
+def make_fabric(n=3, tech=GIGABIT_ETHERNET, builder=build_aggregate_star):
+    sim = Simulator()
+    stations = [Station(sim) for _ in range(n)]
+    addrs = [MacAddress(i) for i in range(n)]
+    fabric = builder(sim, list(zip(addrs, stations)), tech=tech)
+    return sim, stations, addrs, fabric
+
+
+def test_unicast_timing_matches_wire_star():
+    """An uncontended frame arrives at the identical simulated time on
+    both fidelity levels."""
+    arrivals = {}
+    for builder in (build_star, build_aggregate_star):
+        sim, stations, addrs, _ = make_fabric(builder=builder)
+        stations[0].send(Frame(addrs[0], addrs[2], payload_bytes=1500, headers=40))
+        sim.run()
+        assert len(stations[2].got) == 1
+        assert stations[1].got == []
+        arrivals[builder.__name__] = stations[2].got[0][1]
+    assert arrivals["build_star"] == arrivals["build_aggregate_star"]
+
+
+def test_output_port_serializes_two_senders():
+    sim, stations, addrs, fabric = make_fabric()
+    f = lambda src: Frame(addrs[src], addrs[2], payload_bytes=1460, headers=40)
+    stations[0].send(f(0))
+    stations[1].send(f(1))
+    sim.run()
+    (first, t1), (second, t2) = stations[2].got
+    tx = first.wire_size / GIGABIT_ETHERNET.bandwidth
+    # Second frame queues behind the first on port 2: exactly one more
+    # serialization time, no more and no less.
+    assert t2 == pytest.approx(t1 + tx, rel=1e-9)
+    assert fabric.port_stats(2).frames_forwarded == 2
+    assert fabric.port_stats(2).max_queue_bytes > first.wire_size
+
+
+def test_uplink_serializes_back_to_back_sends():
+    sim, stations, addrs, _ = make_fabric()
+    for _ in range(2):
+        stations[0].send(Frame(addrs[0], addrs[1], payload_bytes=1000))
+    sim.run()
+    (_, t1), (_, t2) = stations[1].got
+    tx = stations[1].got[0][0].wire_size / GIGABIT_ETHERNET.bandwidth
+    assert t2 == pytest.approx(t1 + tx, rel=1e-9)
+    assert stations[0].wire.frames_sent == 2
+    assert stations[0].wire.utilization(sim.now) > 0.0
+
+
+def test_broadcast_fans_out_to_all_but_sender():
+    sim, stations, addrs, fabric = make_fabric(n=4)
+    stations[1].send(Frame(addrs[1], BROADCAST, payload_bytes=100))
+    sim.run()
+    assert [len(s.got) for s in stations] == [1, 0, 1, 1]
+    assert fabric.total_forwarded() == 3
+
+
+def test_backlog_past_port_buffer_tail_drops():
+    sim, stations, addrs, fabric = make_fabric()
+    n = 200  # 200 * ~1538B wire >> the 128 KiB per-port buffer
+    for _ in range(n):
+        stations[0].send(Frame(addrs[0], addrs[2], payload_bytes=1460, headers=40))
+        stations[1].send(Frame(addrs[1], addrs[2], payload_bytes=1460, headers=40))
+    sim.run()
+    stats = fabric.port_stats(2)
+    assert stats.frames_dropped > 0
+    assert stats.frames_forwarded + stats.frames_dropped == 2 * n
+    assert len(stations[2].got) == stats.frames_forwarded
+    assert fabric.total_dropped() == stats.frames_dropped
+    assert fabric.total_dropped_bytes() == stats.bytes_dropped
+    # Forwarded backlog never exceeded the buffer.
+    assert stats.max_queue_bytes <= fabric.buffer_bytes_per_port
+
+
+def test_fault_plan_is_rejected():
+    sim = Simulator()
+    stations = [Station(sim) for _ in range(2)]
+    addrs = [MacAddress(i) for i in range(2)]
+    plan = FaultPlan(FaultSpec(loss_rate=0.1, seed=1))
+    with pytest.raises(NetworkError, match="full wire fabric"):
+        build_aggregate_star(
+            sim, list(zip(addrs, stations)), faults=plan
+        )
+
+
+def test_builder_validates_stations():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        build_aggregate_star(sim, [])
+    s = [Station(sim), Station(sim)]
+    dup = [(MacAddress(1), s[0]), (MacAddress(1), s[1])]
+    with pytest.raises(NetworkError, match="duplicate"):
+        build_aggregate_star(sim, dup)
+    with pytest.raises(NetworkError):
+        AggregateFabric(sim, n_ports=0, bandwidth=1e9)
+    with pytest.raises(NetworkError):
+        AggregateFabric(sim, n_ports=2, bandwidth=-1.0)
+
+
+def test_unknown_destination_raises():
+    sim, stations, addrs, _ = make_fabric(n=2)
+    with pytest.raises(NetworkError, match="no forwarding entry"):
+        stations[0].send(Frame(addrs[0], MacAddress(99), payload_bytes=64))
+
+
+def test_telemetry_surface_matches_switch_naming():
+    from repro.telemetry import MetricsRegistry
+
+    sim, stations, addrs, fabric = make_fabric(n=2)
+    registry = MetricsRegistry()
+    fabric.register_telemetry(registry, "switch")
+    stations[0].send(Frame(addrs[0], addrs[1], payload_bytes=500))
+    sim.run()
+    snap = registry.snapshot()
+    assert snap["switch.forwarded"] == 1
+    assert snap["switch.drops"] == 0
+    assert snap["switch.port1.frames"] == 1
+    assert snap["switch.port1.bytes"] > 500

@@ -1,0 +1,271 @@
+"""Scheduler-layer tests: exact-order equivalence and edge cases.
+
+Every scheduler honours the unique ``(time, priority, seq)`` total
+order; the randomized stress here drives each one through the same
+engine-shaped op script and demands the pop sequence match the
+reference heap exactly — that equivalence is what keeps the figure
+CSVs byte-identical under ``REPRO_SIM_SCHEDULER``.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.sched import (
+    CalendarQueue,
+    CalendarScheduler,
+    HeapScheduler,
+    SCHEDULER_KINDS,
+    TimerWheel,
+    make_scheduler,
+)
+
+ALT_KINDS = [k for k in SCHEDULER_KINDS if k != "heap"]
+
+
+# -- randomized equivalence -------------------------------------------------
+
+
+def _script(rng: Random, n: int) -> list[tuple]:
+    """An engine-shaped op mix: timed pushes across magnitudes, timer
+    churn, now-bursts, cancels, interleaved pops."""
+    ops = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.30:
+            ops.append(("push", rng.choice((1e-6, 1e-4, 1e-2)) * rng.random(), rng.randint(0, 1)))
+        elif r < 0.60:
+            ops.append(("timer", rng.choice((1e-6, 1e-3, 1.0, 300.0)) * rng.random()))
+        elif r < 0.72:
+            ops.append(("now", rng.randint(0, 1)))
+        elif r < 0.84:
+            ops.append(("cancel", rng.randrange(1 << 30)))
+        else:
+            ops.append(("pop",))
+    return ops
+
+
+def _drive(sched, script) -> list[tuple]:
+    """Run the script; returns the (when, prio, seq) pop sequence.
+
+    Cancel targets are resolved modulo the push count and skipped when
+    already popped/cancelled — deterministic across schedulers because
+    (by induction) the pop sequences agree up to any divergence.
+    """
+    popped = []
+    handles = {}
+    gone = set()
+    now = 0.0
+    seq = 0
+
+    def pop_one():
+        nonlocal now
+        entry = sched.pop()
+        if entry is not None:
+            now = entry[0]
+            popped.append((entry[0], entry[1], entry[2]))
+            gone.add(entry[2])
+        return entry
+
+    for op in script:
+        if op[0] == "push":
+            handles[seq] = sched.push(now + op[1], op[2], seq, seq)
+            seq += 1
+        elif op[0] == "timer":
+            handles[seq] = sched.push_timer(now + op[1], 1, seq, seq)
+            seq += 1
+        elif op[0] == "now":
+            handles[seq] = sched.push_now(now, op[1], seq, seq)
+            seq += 1
+        elif op[0] == "cancel":
+            if seq:
+                target = op[1] % seq
+                if target not in gone:
+                    sched.cancel(handles[target])
+                    gone.add(target)
+        else:
+            pop_one()
+    while pop_one() is not None:
+        pass
+    assert len(sched) == 0
+    return popped
+
+
+@pytest.mark.parametrize("kind", ALT_KINDS)
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_randomized_stress_matches_heap(kind, seed):
+    script = _script(Random(seed), 3000)
+    reference = _drive(HeapScheduler(), script)
+    assert _drive(make_scheduler(kind), script) == reference
+    # Pop times never go backwards (the run-loop invariant).
+    assert all(a[0] <= b[0] for a, b in zip(reference, reference[1:]))
+
+
+# -- targeted edge cases ----------------------------------------------------
+
+
+def test_simultaneous_events_across_bucket_boundaries():
+    """Equal times sitting exactly on bucket boundaries break ties by
+    (prio, seq), never by bucket index."""
+    ring = CalendarQueue()
+    seq = 0
+    entries = []
+    ring.push(8.0, 1, seq, seq)  # seeds width = 1.0
+    entries.append((8.0, 1, 0))
+    seq = 1
+    for day in range(0, 40, 4):  # spans several ring wraps (16 buckets)
+        t = float(day)  # exactly on a boundary: int(t/width) == day
+        for prio in (1, 0):
+            ring.push(t, prio, seq, seq)
+            entries.append((t, prio, seq))
+            seq += 1
+    got = []
+    while True:
+        e = ring.pop()
+        if e is None:
+            break
+        got.append((e[0], e[1], e[2]))
+    assert got == sorted(entries)
+
+
+def test_timeout_cancelled_at_its_own_fire_time():
+    """A cancel that runs at the timeout's exact fire time (earlier seq,
+    same time) must win: the victim never fires."""
+    sim = Simulator()
+    fired = []
+    outcome = []
+    canceller = sim.timeout(1.0)  # created first => earlier seq
+    victim = sim.timeout(1.0, "victim")
+    victim.add_callback(lambda e: fired.append(e.value))
+    canceller.add_callback(lambda e: outcome.append(victim.cancel()))
+    sim.run()
+    assert outcome == [True]
+    assert fired == []
+    assert sim.now == 1.0
+
+
+def test_calendar_resize_mid_run_preserves_order():
+    ring = CalendarQueue()
+    rng = Random(3)
+    entries = []
+    for seq in range(200):  # > 2 * MIN_BUCKETS forces doubling
+        t = rng.random()
+        ring.push(t, 1, seq, seq)
+        entries.append((t, 1, seq))
+    assert ring.resizes > 0
+    got = []
+    for _ in range(190):  # drain below a quarter: forces halving
+        e = ring.pop()
+        got.append((e[0], e[1], e[2]))
+    assert ring.resizes >= 2
+    while True:
+        e = ring.pop()
+        if e is None:
+            break
+        got.append((e[0], e[1], e[2]))
+    assert got == sorted(entries)
+
+
+@pytest.mark.parametrize("kind", list(SCHEDULER_KINDS))
+def test_seq_shields_payloads_from_comparison(kind):
+    """Entries never compare beyond seq: same (time, prio) with
+    non-orderable payloads must pop cleanly in seq order."""
+    sched = make_scheduler(kind)
+    for seq in range(32):
+        sched.push(0.5, 1, seq, object())  # object() is not orderable
+    got = [sched.pop()[2] for _ in range(32)]
+    assert got == list(range(32))
+
+
+def test_seq_counter_never_wraps_discipline():
+    """The engine's seq source is an unbounded monotone count — huge
+    values keep ordering exact (no 32/64-bit wrap discipline needed)."""
+    sched = CalendarScheduler()
+    lo, hi = (1 << 63) - 1, 1 << 63
+    sched.push(0.25, 1, hi, "second")
+    sched.push(0.25, 1, lo, "first")
+    assert [sched.pop()[3] for _ in range(2)] == ["first", "second"]
+    sim = Simulator()
+    assert next(sim._seq) == 0  # fresh count per simulator, never reset
+
+
+def test_wheel_cascade_and_far_rebuild():
+    wheel = TimerWheel()
+    rng = Random(9)
+    entries = []
+    seq = 0
+    wheel.push(1.0, 1, seq, seq)  # seeds w0 = 1/64
+    entries.append((1.0, 1, 0))
+    seq = 1
+    # Level-1/2 population (beyond the 256-tick level-0 horizon) plus a
+    # couple beyond level 3 entirely (the far list).
+    for t in [rng.random() * 1e4 for _ in range(300)] + [1e9, 2e9]:
+        wheel.push(t, 1, seq, seq)
+        entries.append((t, 1, seq))
+        seq += 1
+    got = []
+    while True:
+        e = wheel.pop()
+        if e is None:
+            break
+        got.append((e[0], e[1], e[2]))
+    assert got == sorted(entries)
+    assert wheel.cascades > 0
+    assert wheel.far_rebuilds >= 1
+
+
+def test_wheel_reseeds_when_width_degenerates():
+    """A width seeded by one long sleep must not leave every later
+    microsecond timer in a single heapified slot forever."""
+    wheel = TimerWheel()
+    wheel.push(64.0, 1, 0, 0)  # seeds w0 = 1.0 — far too coarse
+    assert wheel.pop()[2] == 0  # cursor now parked on slot 64, heapified
+    entries = []
+    for seq in range(1, 200):  # all clamp into the current slot
+        t = 64.0 + seq * 1e-4
+        wheel.push(t, 1, seq, seq)
+        entries.append((t, 1, seq))
+    assert wheel.reseeds >= 1  # degenerate width detected and rebuilt
+    got = []
+    while True:
+        e = wheel.pop()
+        if e is None:
+            break
+        got.append((e[0], e[1], e[2]))
+    assert got == sorted(entries)
+
+
+def test_cancel_callback_is_exact_and_stale_safe():
+    sim = Simulator()
+    calls = []
+    handle = sim.call_after(1.0, calls.append, "cancelled")
+    keep = sim.call_after(2.0, calls.append, "kept")
+    assert sim.cancel_callback(handle) is True
+    assert sim.cancel_callback(handle) is False  # double-cancel: no-op
+    sim.run()
+    assert calls == ["kept"]
+    assert sim.cancel_callback(keep) is False  # already fired: no-op
+
+
+def test_env_override_selects_scheduler(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+    assert Simulator().scheduler_kind == "heap"
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER")
+    assert Simulator().scheduler_kind == "calendar"
+    assert Simulator(scheduler="heap").scheduler_kind == "heap"
+    with pytest.raises(ValueError):
+        make_scheduler("fibonacci")
+
+
+def test_small_cluster_identical_under_both_schedulers(monkeypatch):
+    """End-to-end A/B: a tiny sort run (timers, stores, bus transfers,
+    the switch) produces the identical schedule under heap and calendar."""
+    from repro.bench.sweep import _RUNNERS
+
+    results = {}
+    for kind in ("heap", "calendar"):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", kind)
+        r = _RUNNERS["sort-des"]({"e_init": 1 << 10, "p": 2, "seed": 2})
+        results[kind] = (r["events"], r["makespan"])
+    assert results["heap"] == results["calendar"]

@@ -17,6 +17,8 @@ from repro.bench.sweep import (
     canonical_json,
     kind_salt,
     perf_points,
+    scale_points,
+    scheduler_kind,
 )
 
 #: a DES scale small enough that a whole fig8b sweep runs in well under
@@ -215,3 +217,61 @@ def test_build_report_counts_cache(tmp_path):
     assert doc["cache"]["executed"] == 0
     assert doc["cache"]["hit_rate"] == 1.0
     assert all(e["cached"] for e in doc["scenarios"].values())
+
+
+# --- scale-out suite -----------------------------------------------------------------
+def test_report_records_scheduler_and_throughput(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+    assert scheduler_kind() == "heap"
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER")
+    doc = run_suite("ci", repeats=1)
+    assert doc["scheduler"] == scheduler_kind()
+    for entry in doc["scenarios"].values():
+        if entry["wall_seconds"] > 0:
+            assert entry["events_per_sec"] > 0
+
+
+def test_scale_points_enumerate_large_suite():
+    points = scale_points(Scale.large())
+    names = [p.name for p in points]
+    assert len(names) == len(set(names)) == 12  # {sort,fft} x {gige,inic} x {32,64,128}
+    for p in points:
+        assert p.params["fabric"] == "aggregate"  # scale-out uses the O(ports) model
+        assert p.params["p"] in (32, 64, 128)
+    assert "scale-sort-inic-p128" in names
+    assert "scale-fft-gige-p32" in names
+
+
+def test_scale_points_max_p_trims_without_changing_identity():
+    full = {p.name: p for p in scale_points(Scale.large())}
+    trimmed = scale_points(Scale.large(), max_p=32)
+    assert [p.name for p in trimmed] == [n for n in full if n.endswith("p32")]
+    for p in trimmed:
+        # Same identity => the smoke job shares cache entries with the
+        # full suite and the reference stays comparable after pruning.
+        assert p.identity == full[p.name].identity
+
+
+def test_scale_points_skip_indivisible_partitions():
+    odd = Scale(
+        name="odd",
+        fft_sizes=(96,),  # divisible by 32, not by 64
+        fft_procs=(32, 64),
+        sort_keys=(1 << 10) + 1,  # indivisible by every p
+        sort_procs=(32, 64),
+    )
+    points = scale_points(odd)
+    assert [p.name for p in points] == [
+        "scale-fft-gige-p32", "scale-fft-inic-p32"
+    ]
+
+
+def test_fabric_param_threads_to_cluster_spec():
+    from repro.core.api import Experiment
+
+    exp = Experiment().nodes(4).fabric("aggregate")
+    assert exp.spec.fabric == "aggregate"
+    session = exp.build()
+    assert type(session.cluster.switch).__name__ == "AggregateFabric"
+    with pytest.raises(ValueError, match="unknown fabric"):
+        Experiment().fabric("quantum").spec

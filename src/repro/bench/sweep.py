@@ -55,6 +55,8 @@ __all__ = [
     "perf_points",
     "fault_points",
     "scale_points",
+    "scheduler_kind",
+    "scheduler_backend",
     "build_report",
     "write_report",
     "main",
@@ -944,17 +946,39 @@ def scheduler_kind() -> str:
     return os.environ.get("REPRO_SIM_SCHEDULER") or _DEFAULT_SCHEDULER
 
 
+def scheduler_backend() -> dict[str, Any]:
+    """The backend ``scheduler_kind()`` actually resolves to, probed live.
+
+    Distinguishes the compiled native extension from its pure-python
+    fallback — the perf report must record which one produced the walls.
+    """
+    from ..sim.sched import make_scheduler
+
+    kind = scheduler_kind()
+    stats = make_scheduler(kind).stats()
+    return {
+        "kind": kind,
+        "backend": stats["kind"],
+        "compiled": bool(stats.get("compiled", False)),
+    }
+
+
 def build_report(
     results: dict[str, PointResult], scale_name: str, engine: SweepEngine
 ) -> dict[str, Any]:
     """The engine's JSON report — the single source every perf artifact
     (``BENCH_perf.json``, the committed reference) is written from."""
+    backend = scheduler_backend()
     scenarios = {}
     for name, r in results.items():
         entry: dict[str, Any] = {
             "events": r.events,
             "wall_seconds": round(r.wall_seconds, 4),
             "cached": r.cached,
+            # which event-queue backend produced this scenario's wall —
+            # "native" + compiled=False means the pure-python fallback ran
+            "scheduler": backend["backend"],
+            "compiled": backend["compiled"],
         }
         if r.wall_seconds > 0 and r.events:
             #: host throughput — the human-facing perf headline; event
@@ -974,6 +998,7 @@ def build_report(
     return {
         "scale": scale_name,
         "scheduler": scheduler_kind(),
+        "scheduler_backend": backend,
         "jobs": engine.jobs,
         "repeats": engine.repeats,
         "cache": {

@@ -52,7 +52,7 @@ def wire_bytes(payload: int, per_frame_headers: int, frame_count: int = 1) -> in
     return padded + frame_count * (ETHERNET_OVERHEAD + per_frame_headers)
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One simulated wire transfer unit.
 
@@ -86,7 +86,7 @@ class Frame:
     seq: int = 0
     payload: Any = None
     meta: dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_frame_ids))
+    uid: int = field(default_factory=_frame_ids.__next__)
     #: total on-wire bytes (drives serialization time) — computed once
     #: at construction; the geometry fields are never mutated after
     #: construction, and this is read several times per frame along the

@@ -3,7 +3,8 @@
 Two modes::
 
     python -m repro.sim --bench          # raw scheduler micro-timings
-    python -m repro.sim --ab             # heap-vs-calendar ordering diff
+    python -m repro.sim --bench --json   # same, machine-readable
+    python -m repro.sim --ab             # heap-vs-{calendar,native} ordering diff
 
 ``--bench`` times the bare scheduler structures (no engine, no models)
 over three operation mixes so a scheduler change can be judged in
@@ -16,16 +17,20 @@ isolation:
 * ``sawtooth`` — interleaved push/pop with monotone time, the shape the
   run loop actually produces.
 
-``--ab`` executes the ci perf suite twice — once on the reference heap
-scheduler, once on the calendar composite — with the engine's event
-trace sink installed, and diffs the two ``(when, prio, seq, type)``
-streams.  An empty diff is the proof behind the byte-identical
+``--ab`` executes the ci perf suite once on the reference heap
+scheduler and once per challenger kind (default: the calendar composite
+and the native backend) — with the engine's event trace sink installed —
+and diffs each challenger's ``(when, prio, seq, type)`` stream against
+the heap baseline.  An empty diff is the proof behind the byte-identical
 ``results/fig*.csv`` guarantee; any divergence prints the first
-mismatching event and exits 1.
+mismatching event and exits 1.  The PASS line names the backend that
+actually ran (the native kind reports whether the compiled extension or
+the pure-python fallback served the run).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -76,13 +81,21 @@ def _mix_sawtooth(sched, n: int, rng: Random) -> int:
 _MIX_FNS = {"hold": _mix_hold, "churn": _mix_churn, "sawtooth": _mix_sawtooth}
 
 
-def run_bench(n: int, seed: int, kinds: tuple[str, ...]) -> int:
-    print(f"scheduler microbenchmark: n={n} seed={seed}")
-    header = f"{'kind':>10} | " + " | ".join(f"{m:>14}" for m in _MIXES)
-    print(header)
-    print("-" * len(header))
+def bench_report(n: int, seed: int, kinds: tuple[str, ...]) -> dict:
+    """Time every (kind, mix) cell; returns a JSON-ready report.
+
+    Each scheduler entry records ``backend`` metadata from its own
+    ``stats()`` — for the native kind that distinguishes the compiled
+    extension (``compiled: true``) from the pure-python fallback.
+    """
+    report: dict = {"n": n, "seed": seed, "mixes": list(_MIXES), "schedulers": {}}
     for kind in kinds:
-        cells = []
+        probe = make_scheduler(kind).stats()
+        entry = {
+            "backend": probe["kind"],
+            "compiled": bool(probe.get("compiled", False)),
+            "ops_per_sec": {},
+        }
         for mix in _MIXES:
             sched = make_scheduler(kind)
             rng = Random(seed)
@@ -90,10 +103,36 @@ def run_bench(n: int, seed: int, kinds: tuple[str, ...]) -> int:
             ops = _MIX_FNS[mix](sched, n, rng)
             dt = time.perf_counter() - t0
             if len(sched):
-                print(f"FAIL {kind}/{mix}: {len(sched)} entries left queued")
-                return 1
-            cells.append(f"{ops / dt / 1e6:>10.2f}Mo/s")
+                raise RuntimeError(
+                    f"{kind}/{mix}: {len(sched)} entries left queued"
+                )
+            entry["ops_per_sec"][mix] = ops / dt
+        report["schedulers"][kind] = entry
+    return report
+
+
+def run_bench(n: int, seed: int, kinds: tuple[str, ...], as_json: bool = False) -> int:
+    try:
+        report = bench_report(n, seed, kinds)
+    except RuntimeError as exc:
+        print(f"FAIL {exc}")
+        return 1
+    if as_json:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    print(f"scheduler microbenchmark: n={n} seed={seed}")
+    header = f"{'kind':>10} | " + " | ".join(f"{m:>14}" for m in _MIXES)
+    print(header)
+    print("-" * len(header))
+    for kind in kinds:
+        entry = report["schedulers"][kind]
+        cells = [
+            f"{entry['ops_per_sec'][mix] / 1e6:>10.2f}Mo/s" for mix in _MIXES
+        ]
         print(f"{kind:>10} | " + " | ".join(cells))
+        if kind == "native" and not entry["compiled"]:
+            print(f"{'':>10}   (pure-python fallback; extension not built)")
     print("(Mo/s = million scheduler operations per second, higher is better)")
     return 0
 
@@ -122,29 +161,49 @@ def _run_suite(kind: str, scale_name: str):
     return sink, results
 
 
-def run_ab(scale_name: str) -> int:
+_AB_DEFAULT_KINDS = ("calendar", "native")
+
+
+def _backend_label(kind: str) -> str:
+    """Human label for the backend ``kind`` resolves to right now."""
+    stats = make_scheduler(kind).stats()
+    if kind == "native":
+        return "native/compiled" if stats.get("compiled") else "native/fallback"
+    return kind
+
+
+def run_ab(scale_name: str, kinds: tuple[str, ...] = _AB_DEFAULT_KINDS) -> int:
+    """Diff each challenger kind's event stream against the heap baseline."""
     trace_a, res_a = _run_suite("heap", scale_name)
-    trace_b, res_b = _run_suite("calendar", scale_name)
-    ok = True
-    for name in res_a:
-        if res_a[name] != res_b.get(name):
-            print(f"FAIL {name}: heap {res_a[name]} != calendar {res_b.get(name)}")
+    exit_code = 0
+    for kind in kinds:
+        if kind == "heap":
+            continue
+        label = _backend_label(kind)
+        trace_b, res_b = _run_suite(kind, scale_name)
+        ok = True
+        for name in res_a:
+            if res_a[name] != res_b.get(name):
+                print(f"FAIL {name}: heap {res_a[name]} != {label} {res_b.get(name)}")
+                ok = False
+        if len(trace_a) != len(trace_b):
+            print(
+                f"FAIL trace length: heap {len(trace_a)} != {label} {len(trace_b)}"
+            )
             ok = False
-    if len(trace_a) != len(trace_b):
-        print(f"FAIL trace length: heap {len(trace_a)} != calendar {len(trace_b)}")
-        ok = False
-    for i, (a, b) in enumerate(zip(trace_a, trace_b)):
-        if a != b:
-            print(f"FAIL first divergence at event {i}: heap {a} != calendar {b}")
-            ok = False
-            break
-    if not ok:
-        return 1
-    print(
-        f"PASS heap == calendar: {len(res_a)} scenarios, "
-        f"{len(trace_a)} events order-identical at scale {scale_name!r}"
-    )
-    return 0
+        for i, (a, b) in enumerate(zip(trace_a, trace_b)):
+            if a != b:
+                print(f"FAIL first divergence at event {i}: heap {a} != {label} {b}")
+                ok = False
+                break
+        if ok:
+            print(
+                f"PASS heap == {label}: {len(res_a)} scenarios, "
+                f"{len(trace_a)} events order-identical at scale {scale_name!r}"
+            )
+        else:
+            exit_code = 1
+    return exit_code
 
 
 def main(argv=None) -> int:
@@ -160,7 +219,7 @@ def main(argv=None) -> int:
     )
     mode.add_argument(
         "--ab", action="store_true",
-        help="diff heap-vs-calendar event order over the perf suite",
+        help="diff heap-vs-challenger event order over the perf suite",
     )
     parser.add_argument(
         "--n", type=int, default=100_000,
@@ -168,8 +227,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0x5EED)
     parser.add_argument(
-        "--kinds", nargs="+", default=list(SCHEDULER_KINDS),
-        choices=list(SCHEDULER_KINDS), help="(--bench) schedulers to time",
+        "--kinds", nargs="+", default=None,
+        choices=list(SCHEDULER_KINDS),
+        help="(--bench) schedulers to time (default: all); "
+        "(--ab) challengers to diff against heap (default: calendar native)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="(--bench) emit the report as JSON instead of a table",
     )
     parser.add_argument(
         "--scale", default="ci", choices=["ci", "bench", "paper"],
@@ -177,8 +242,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.bench:
-        return run_bench(args.n, args.seed, tuple(args.kinds))
-    return run_ab(args.scale)
+        kinds = tuple(args.kinds) if args.kinds else SCHEDULER_KINDS
+        return run_bench(args.n, args.seed, kinds, as_json=args.json)
+    kinds = tuple(args.kinds) if args.kinds else _AB_DEFAULT_KINDS
+    return run_ab(args.scale, kinds)
 
 
 if __name__ == "__main__":

@@ -84,8 +84,11 @@ _PENDING = object()  # sentinel: event value not yet set
 #: bound on the kernel free lists (Timeout / _Callback recycling)
 _POOL_MAX = 1024
 
-#: default scheduler kind; overridable per-instance or via environment
-_DEFAULT_SCHEDULER = "calendar"
+#: default scheduler kind; overridable per-instance or via environment.
+#: "native" is the compiled C heap when the optional extension is built,
+#: and the pure-python calendar composite otherwise — identical pop
+#: order either way (sched_stats()["compiled"] reports which ran).
+_DEFAULT_SCHEDULER = "native"
 
 #: module-level event-trace sink (A/B ordering harness).  When set, every
 #: Simulator constructed afterwards appends ``(when, prio, seq, type)``
@@ -426,18 +429,34 @@ class Simulator:
     """The event loop: a clock plus a scheduler of pending events.
 
     ``scheduler`` picks the priority-queue implementation (see
-    :mod:`repro.sim.sched`): ``"calendar"`` (default) is the calendar
-    ring + timer wheel + now-queue composite, ``"heap"`` the reference
-    binary heap.  Every scheduler honours the same unique
-    ``(time, priority, seq)`` total order, so the choice never changes
-    a schedule — only how fast it executes.  The environment variable
-    ``REPRO_SIM_SCHEDULER`` overrides the default for A/B runs.
+    :mod:`repro.sim.sched`): ``"native"`` (default) is the compiled C
+    heap (pure-python composite when the extension isn't built),
+    ``"calendar"`` the calendar ring + timer wheel + now-queue
+    composite, ``"heap"`` the reference binary heap.  Every scheduler
+    honours the same unique ``(time, priority, seq)`` total order, so
+    the choice never changes a schedule — only how fast it executes.
+    The environment variable ``REPRO_SIM_SCHEDULER`` overrides the
+    default for A/B runs; an explicit ``scheduler=`` argument beats the
+    environment.
     """
 
     def __init__(self, scheduler: Optional[str] = None):
         self._now: float = 0.0
-        kind = scheduler or os.environ.get("REPRO_SIM_SCHEDULER") or _DEFAULT_SCHEDULER
-        self._sched = make_scheduler(kind)
+        # The argument wins over the environment; the environment wins
+        # over the default.  Bad names fail *here*, naming their source
+        # and every valid kind, not deep inside construction.
+        if scheduler:
+            kind, source = scheduler, "Simulator(scheduler=...)"
+        else:
+            kind = os.environ.get("REPRO_SIM_SCHEDULER") or ""
+            if kind:
+                source = "the REPRO_SIM_SCHEDULER environment variable"
+            else:
+                kind, source = _DEFAULT_SCHEDULER, "the built-in default"
+        try:
+            self._sched = make_scheduler(kind)
+        except ValueError as exc:
+            raise ValueError(f"{exc}; the kind came from {source}") from None
         self._sched_kind = kind
         # Bound-method aliases: the push paths run once per scheduled
         # event, so the extra attribute hop through ``_sched`` matters.
@@ -502,8 +521,10 @@ class Simulator:
             t.callbacks = []
             t._value = None
             t._ok = True
-            t._scheduled = False
-            self._schedule_timer(t, delay)
+            # Inlined ``_schedule_timer`` (delay already validated and a
+            # pool entry is by definition not scheduled).
+            t._scheduled = True
+            t._entry = self._push_timer(self._now + delay, NORMAL, next(self._seq), t)
             return t
         t = Timeout(self, delay)
         t._pooled = True
@@ -719,13 +740,19 @@ class Simulator:
                 )
 
         # The loop below is step()/_fire() with everything hot bound to
-        # locals and the dominant ``_Callback`` branch inlined — the
-        # per-event overhead here bounds every figure sweep.
+        # locals and every payload kind dispatched inline — one type
+        # check each for the two dominant shapes (``_Callback``, pooled
+        # ``Timeout``) instead of a shared megamorphic ``_fire`` call.
+        # The per-event overhead here bounds every figure sweep.
         sched = self._sched
         pop = sched.pop
-        fire = self._fire
         trace = self._trace
         cb_pool = self._callback_pool
+        t_pool = self._timeout_pool
+        callback_t = _Callback
+        timeout_t = Timeout
+        pending = _PENDING
+        pool_max = _POOL_MAX
         finite = horizon != float("inf")
         limit = sys.maxsize if max_events is None else max_events
         processed = 0
@@ -747,16 +774,30 @@ class Simulator:
                 entry[3] = None  # detach: stale cancel handles become no-ops
                 if trace is not None:
                     trace.append((entry[0], entry[1], entry[2], type(item).__name__))
-                if type(item) is _Callback:
+                if type(item) is callback_t:
                     fn = item.fn
                     args = item.args
                     item.fn = None
                     item.args = ()
-                    if len(cb_pool) < _POOL_MAX:
+                    if len(cb_pool) < pool_max:
                         cb_pool.append(item)
                     fn(*args)
                 else:
-                    fire(item)
+                    # Inlined Event dispatch (the single other shape the
+                    # scheduler ever holds); semantics identical to
+                    # ``_fire``, which ``step()`` still uses.
+                    callbacks = item.callbacks
+                    item.callbacks = None
+                    for fn in callbacks:
+                        fn(item)
+                    if type(item) is timeout_t:
+                        if item._pooled and len(t_pool) < pool_max:
+                            item._value = pending
+                            t_pool.append(item)
+                    elif not item._ok and not callbacks:
+                        # A failed event nobody waited on: surface the
+                        # error instead of silently dropping it.
+                        raise item._value
                 if processed >= limit:
                     raise SimulationRunaway(
                         f"exceeded max_events={max_events} (clock at {self._now:g}s)"

@@ -38,23 +38,42 @@ Three structures:
   O(1) insert and cancel, slots sorted only when the cursor reaches
   them, cancelled entries dropped *unsorted* during cascades.
 
-:class:`CalendarScheduler` (the default, kind ``"calendar"``) composes
-all three populations — a calendar ring for general events, a timer
-wheel for timers, and plain FIFO deques for delay-0 ("now") events,
-which need no ordering work at all beyond priority.
+:class:`CalendarScheduler` (kind ``"calendar"``) composes all three
+populations — a calendar ring for general events, a timer wheel for
+timers, and plain FIFO deques for delay-0 ("now") events, which need no
+ordering work at all beyond priority.
+
+On top of the pure-python structures sits the **compiled backend**
+(kind ``"native"``, the default): ``repro.sim._csched.NativeScheduler``,
+a C binary heap that caches each entry's ``(when, prio, seq)`` key in a
+C struct so every comparison is three scalar compares with no
+interpreter involvement.  The extension is optional — built via
+``python setup.py build_ext --inplace`` — and when it is absent (or
+disabled via ``REPRO_SIM_DISABLE_NATIVE=1``) the ``"native"`` kind
+falls back to :class:`PurePythonNativeScheduler`, a calendar-composite
+stand-in that reports ``compiled: False`` in its stats.  Either way the
+pop stream is identical, so the choice never changes a schedule.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from heapq import heapify, heappop, heappush
+
+try:  # optional compiled backend (python setup.py build_ext --inplace)
+    from . import _csched
+except ImportError:  # no compiler / wheel built without the extension
+    _csched = None
 
 __all__ = [
     "HeapScheduler",
     "CalendarQueue",
     "TimerWheel",
     "CalendarScheduler",
+    "PurePythonNativeScheduler",
     "make_scheduler",
+    "native_available",
     "SCHEDULER_KINDS",
 ]
 
@@ -829,7 +848,40 @@ class CalendarScheduler:
         }
 
 
-SCHEDULER_KINDS = ("calendar", "heap", "ring", "wheel")
+SCHEDULER_KINDS = ("native", "calendar", "heap", "ring", "wheel")
+
+
+def native_available() -> bool:
+    """True when the compiled scheduler will actually be used.
+
+    Requires the ``repro.sim._csched`` extension to be importable *and*
+    ``REPRO_SIM_DISABLE_NATIVE`` to be unset/empty — the latter is the
+    knob CI uses to prove the pure-python fallback is complete on a
+    machine that does have the extension built.
+    """
+    return _csched is not None and not os.environ.get("REPRO_SIM_DISABLE_NATIVE")
+
+
+class PurePythonNativeScheduler(CalendarScheduler):
+    """Pure-python stand-in for the compiled backend.
+
+    Selected by ``make_scheduler("native")`` when the C extension is
+    unavailable (not built, or disabled via ``REPRO_SIM_DISABLE_NATIVE``).
+    It *is* the calendar composite — the fastest pure-python structure —
+    but reports kind ``"native"`` with ``compiled: False`` so callers
+    (``sched_stats()``, ``BENCH_perf.json``) can always tell which
+    implementation actually ran.
+    """
+
+    kind = "native"
+    compiled = False
+    __slots__ = ()
+
+    def stats(self) -> dict:
+        d = super().stats()
+        d["compiled"] = False
+        d["fallback"] = "calendar"
+        return d
 
 
 class _BareRing(CalendarQueue):
@@ -850,10 +902,18 @@ class _BareWheel(TimerWheel):
 def make_scheduler(kind: str):
     """Build a scheduler by kind name.
 
-    ``"calendar"`` (default) is the composite; ``"heap"`` the reference
-    binary heap; ``"ring"``/``"wheel"`` expose the bare calendar ring
-    and timer wheel (mainly for ``python -m repro.sim --bench``).
+    ``"native"`` (the default) is the compiled C heap, falling back to
+    the pure-python composite when the extension is unavailable;
+    ``"calendar"`` is the pure-python composite; ``"heap"`` the
+    reference binary heap; ``"ring"``/``"wheel"`` expose the bare
+    calendar ring and timer wheel (mainly for
+    ``python -m repro.sim --bench``).  Unknown kinds raise
+    :class:`ValueError` naming every valid choice.
     """
+    if kind == "native":
+        if native_available():
+            return _csched.NativeScheduler()
+        return PurePythonNativeScheduler()
     if kind == "calendar":
         return CalendarScheduler()
     if kind == "heap":

@@ -16,9 +16,11 @@ from repro.sim.sched import (
     CalendarQueue,
     CalendarScheduler,
     HeapScheduler,
+    PurePythonNativeScheduler,
     SCHEDULER_KINDS,
     TimerWheel,
     make_scheduler,
+    native_available,
 )
 
 ALT_KINDS = [k for k in SCHEDULER_KINDS if k != "heap"]
@@ -129,10 +131,11 @@ def test_simultaneous_events_across_bucket_boundaries():
     assert got == sorted(entries)
 
 
-def test_timeout_cancelled_at_its_own_fire_time():
+@pytest.mark.parametrize("kind", list(SCHEDULER_KINDS))
+def test_timeout_cancelled_at_its_own_fire_time(kind):
     """A cancel that runs at the timeout's exact fire time (earlier seq,
     same time) must win: the victim never fires."""
-    sim = Simulator()
+    sim = Simulator(scheduler=kind)
     fired = []
     outcome = []
     canceller = sim.timeout(1.0)  # created first => earlier seq
@@ -178,10 +181,12 @@ def test_seq_shields_payloads_from_comparison(kind):
     assert got == list(range(32))
 
 
-def test_seq_counter_never_wraps_discipline():
+@pytest.mark.parametrize("kind", list(SCHEDULER_KINDS))
+def test_seq_counter_never_wraps_discipline(kind):
     """The engine's seq source is an unbounded monotone count — huge
-    values keep ordering exact (no 32/64-bit wrap discipline needed)."""
-    sched = CalendarScheduler()
+    values keep ordering exact (no 32/64-bit wrap discipline needed;
+    the compiled backend covers the full unsigned 64-bit range)."""
+    sched = make_scheduler(kind)
     lo, hi = (1 << 63) - 1, 1 << 63
     sched.push(0.25, 1, hi, "second")
     sched.push(0.25, 1, lo, "first")
@@ -252,20 +257,75 @@ def test_env_override_selects_scheduler(monkeypatch):
     monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
     assert Simulator().scheduler_kind == "heap"
     monkeypatch.delenv("REPRO_SIM_SCHEDULER")
-    assert Simulator().scheduler_kind == "calendar"
+    assert Simulator().scheduler_kind == "native"  # the built-in default
     assert Simulator(scheduler="heap").scheduler_kind == "heap"
     with pytest.raises(ValueError):
         make_scheduler("fibonacci")
 
 
-def test_small_cluster_identical_under_both_schedulers(monkeypatch):
+def test_scheduler_argument_beats_env_var(monkeypatch):
+    """Explicit ``Simulator(scheduler=...)`` wins over the environment."""
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "wheel")
+    assert Simulator(scheduler="heap").scheduler_kind == "heap"
+    # ...and the env var still governs unconfigured simulators.
+    assert Simulator().scheduler_kind == "wheel"
+
+
+def test_unknown_scheduler_errors_name_source_and_kinds(monkeypatch):
+    """A typo'd kind fails fast, names where the kind came from, and
+    lists every valid kind (including native)."""
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+    with pytest.raises(ValueError) as exc_arg:
+        Simulator(scheduler="splay")
+    msg = str(exc_arg.value)
+    assert "splay" in msg and "Simulator(scheduler=...)" in msg
+    for kind in SCHEDULER_KINDS:
+        assert kind in msg
+
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "splay")
+    with pytest.raises(ValueError) as exc_env:
+        Simulator()
+    assert "REPRO_SIM_SCHEDULER" in str(exc_env.value)
+    # The argument is checked before the env var is even consulted.
+    assert Simulator(scheduler="heap").scheduler_kind == "heap"
+
+
+def test_native_kind_always_constructible(monkeypatch):
+    """``native`` is a valid kind with or without the compiled extension;
+    stats() says which implementation is live."""
+    sched = make_scheduler("native")
+    stats = sched.stats()
+    assert stats["kind"] == "native"
+    assert stats["compiled"] is native_available()
+
+    monkeypatch.setenv("REPRO_SIM_DISABLE_NATIVE", "1")
+    forced = make_scheduler("native")
+    assert isinstance(forced, PurePythonNativeScheduler)
+    assert forced.stats()["compiled"] is False
+    assert forced.stats()["fallback"] == "calendar"
+
+
+def test_native_fallback_pop_parity():
+    """The pure-python fallback is pop-for-pop identical to the compiled
+    backend (and to the reference heap) over the randomized stress mix —
+    so losing the compiler changes speed, never results."""
+    script = _script(Random(99), 3000)
+    reference = _drive(HeapScheduler(), script)
+    assert _drive(PurePythonNativeScheduler(), script) == reference
+    if native_available():
+        from repro.sim._csched import NativeScheduler
+
+        assert _drive(NativeScheduler(), script) == reference
+
+
+def test_small_cluster_identical_under_all_schedulers(monkeypatch):
     """End-to-end A/B: a tiny sort run (timers, stores, bus transfers,
-    the switch) produces the identical schedule under heap and calendar."""
+    the switch) produces the identical schedule under every backend."""
     from repro.bench.sweep import _RUNNERS
 
     results = {}
-    for kind in ("heap", "calendar"):
+    for kind in SCHEDULER_KINDS:
         monkeypatch.setenv("REPRO_SIM_SCHEDULER", kind)
         r = _RUNNERS["sort-des"]({"e_init": 1 << 10, "p": 2, "seed": 2})
         results[kind] = (r["events"], r["makespan"])
-    assert results["heap"] == results["calendar"]
+    assert len(set(results.values())) == 1, results

@@ -18,7 +18,10 @@ from typing import Callable
 from ..errors import ApplicationError
 from ..models.speedup import Series
 
-__all__ = ["Scale", "Experiment", "render_table", "render_all"]
+__all__ = ["Scale", "SCALE_NAMES", "Experiment", "render_table", "render_all"]
+
+#: named scales accepted by :meth:`Scale.by_name`, alphabetical
+SCALE_NAMES = ("bench", "ci", "large", "paper")
 
 
 @dataclass(frozen=True)
@@ -33,6 +36,11 @@ class Scale:
     #: link loss rates swept by the fault-injection suite (the
     #: makespan-vs-loss-rate curve); 0.0 is the ideal-fabric anchor
     loss_rates: tuple[float, ...] = (0.0, 0.001, 0.01)
+    #: node counts for the hierarchical-topology scale points (empty:
+    #: the scale suite stays single-star only)
+    fabric_procs: tuple[int, ...] = ()
+    #: hierarchical topologies swept by the scale suite
+    topologies: tuple[str, ...] = ()
 
     @classmethod
     def paper(cls) -> "Scale":
@@ -71,11 +79,12 @@ class Scale:
 
     @classmethod
     def large(cls) -> "Scale":
-        """Scale-out suite: 32-128 nodes on the aggregated fabric.
+        """Scale-out suite: 32-128 nodes on the aggregated star, then
+        64-1024 nodes on the hierarchical fabrics.
 
         Extends the paper's 16-processor envelope to ask where the
-        INIC-vs-TCP gap goes as the star grows.  Key count is divisible
-        by 128 so the sort partitions evenly at every p.
+        INIC-vs-TCP gap goes as the fabric grows.  Key count is
+        divisible by 1024 so the sort partitions evenly at every p.
         """
         return cls(
             name="large",
@@ -83,11 +92,13 @@ class Scale:
             fft_procs=(32, 64, 128),
             sort_keys=1 << 21,
             sort_procs=(32, 64, 128),
+            fabric_procs=(64, 256, 512, 1024),
+            topologies=("fattree", "torus"),
         )
 
     @classmethod
     def by_name(cls, name: str) -> "Scale":
-        """Look up a named scale (``paper`` / ``bench`` / ``ci`` / ``large``)."""
+        """Look up a named scale (see :data:`SCALE_NAMES`)."""
         try:
             factory = {
                 "paper": cls.paper,
@@ -97,7 +108,8 @@ class Scale:
             }[name]
         except KeyError:
             raise ApplicationError(
-                f"unknown scale {name!r}; have paper, bench, ci, large"
+                f"unknown scale {name!r} for Scale.by_name "
+                f"(choose from {', '.join(SCALE_NAMES)})"
             ) from None
         return factory()
 

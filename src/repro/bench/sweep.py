@@ -387,7 +387,9 @@ def _point_session(n: int, p: dict, card=None, network=None, faults=None):
         exp = exp.network(network)
     fabric = p.get("fabric")
     if fabric is not None:
-        exp = exp.fabric(fabric)
+        # topology options ride in the params as a JSON object, e.g.
+        # {"fabric": "fattree", "fabric_options": {"oversub": 2}}
+        exp = exp.fabric(fabric, **(p.get("fabric_options") or {}))
     return exp.telemetry(bool(p.get("telemetry"))).build()
 
 
@@ -398,6 +400,12 @@ def _point_value(session, res, **extra) -> dict:
         "makespan": res.makespan,
         "events": session.sim.event_count,
     }
+    # hierarchical fabrics also report their routing cost (hop counts);
+    # single-star fabrics have no hop_stats, so legacy payloads (and
+    # cache entries) are unchanged
+    hop_stats = getattr(session.cluster.switch, "hop_stats", None)
+    if hop_stats is not None:
+        out["hops"] = hop_stats()
     out.update(extra)
     if session.telemetry_enabled:
         out["metrics"] = session.metrics()
@@ -838,18 +846,46 @@ def perf_points(scale) -> list[PointSpec]:
     return specs
 
 
-def scale_points(scale, max_p: Optional[int] = None) -> list[PointSpec]:
+#: torus points stop here: dimension-ordered hops make the torus the
+#: most event-expensive fabric per frame, and 64/256 nodes already pin
+#: its contention behaviour (the fat-tree carries the 512/1024 axis)
+TORUS_MAX_P = 256
+
+
+def scale_points(
+    scale,
+    max_p: Optional[int] = None,
+    fabrics: Optional[Iterable[str]] = None,
+) -> list[PointSpec]:
     """The scale-out suite: FFT and integer sort at ``Scale.large``'s
     32-128 nodes, TCP/GigE baseline vs prototype INIC, both on the
     aggregated fabric (``fabric: "aggregate"`` — per-port busy-until
     contention instead of per-wire objects; see
-    :class:`repro.net.fabric.AggregateFabric`).
+    :class:`repro.net.fabric.AggregateFabric`) — then the hierarchical
+    topology axis: the same workloads on a fat-tree up to 1024 nodes
+    and on a 3D torus up to :data:`TORUS_MAX_P`
+    (:mod:`repro.net.topology`).
+
+    High node counts are INIC-centric (one GigE/fat-tree baseline pair
+    at the smallest fabric size keeps the cross-check): the host-TCP
+    stack generates ~3x the events per node and its 1024-node points
+    would dominate the suite's wall for no extra fabric coverage.
+    The FFT rows grow to ``p`` when the paper's 512-row matrix would
+    leave nodes without a row partition (p=1024).
 
     ``max_p`` trims the processor axis (the CI smoke job runs just
-    p=32) without changing any point's identity, so the full suite and
-    the smoke job share cache entries.
+    p=32) and ``fabrics`` selects fabric kinds (the CI matrix runs one
+    kind per job) — neither changes any point's identity, so the full
+    suite, the smoke job, and the matrix legs all share cache entries.
     """
+    fabric_set = None if fabrics is None else set(fabrics)
+
+    def want(fabric: str) -> bool:
+        return fabric_set is None or fabric in fabric_set
+
     specs = []
+    if not want("aggregate"):
+        return _topology_points(scale, max_p, want)
     for p in scale.sort_procs:
         if scale.sort_keys % p or (max_p is not None and p > max_p):
             continue
@@ -890,6 +926,61 @@ def scale_points(scale, max_p: Optional[int] = None) -> list[PointSpec]:
                 {**base, "card": "aceii-prototype"},
             )
         )
+    return specs + _topology_points(scale, max_p, want)
+
+
+def _topology_points(scale, max_p, want) -> list[PointSpec]:
+    """The hierarchical-fabric axis of the scale suite (see
+    :func:`scale_points` for the point-selection rationale)."""
+    specs = []
+    rows_base = scale.fft_sizes[-1]
+    for topo in scale.topologies:
+        if not want(topo):
+            continue
+        procs = [
+            p
+            for p in scale.fabric_procs
+            if scale.sort_keys % p == 0
+            and (max_p is None or p <= max_p)
+            and (topo != "torus" or p <= TORUS_MAX_P)
+        ]
+        for p in procs:
+            sort_base = {
+                "e_init": scale.sort_keys,
+                "p": p,
+                "seed": 2,
+                "fabric": topo,
+            }
+            specs.append(
+                PointSpec(
+                    "sort-des",
+                    f"scale-sort-inic-{topo}-p{p}",
+                    {**sort_base, "card": "aceii-prototype"},
+                )
+            )
+            rows = rows_base if rows_base % p == 0 else p
+            fft_base = {
+                "rows": rows,
+                "p": p,
+                "network": "gigabit-ethernet",
+                "seed": 2,
+                "fabric": topo,
+            }
+            specs.append(
+                PointSpec(
+                    "fft-des",
+                    f"scale-fft-inic-{topo}-p{p}",
+                    {**fft_base, "card": "aceii-prototype"},
+                )
+            )
+            if p == min(procs):  # one baseline pair per topology
+                specs.append(
+                    PointSpec(
+                        "sort-des",
+                        f"scale-sort-gige-{topo}-p{p}",
+                        {**sort_base, "card": None},
+                    )
+                )
     return specs
 
 
@@ -936,6 +1027,31 @@ def fault_points(scale) -> list[PointSpec]:
             },
         )
     )
+    # Fabric composition: the same lossy plan on the O(ports) aggregate
+    # star and on a fat-tree.  Both install the identical named
+    # per-uplink injectors the full wire star uses (fabric.up<i>, seeded
+    # via derive_seed), so recovery is exercised at every fidelity level.
+    rate = max(r for r in scale.loss_rates if r > 0) if any(
+        r > 0 for r in scale.loss_rates
+    ) else 0.01
+    for fabric in ("aggregate", "fattree"):
+        specs.append(
+            PointSpec(
+                "sort-des",
+                f"sort-faults-{fabric}",
+                {
+                    "e_init": e_init,
+                    "p": p,
+                    "card": "aceii-prototype",
+                    "seed": 2,
+                    "fabric": fabric,
+                    "faults": FaultSpec(
+                        seed=FAULT_SUITE_SEED, loss_rate=rate
+                    ).to_params(),
+                    "retries": FAULT_SUITE_RETRIES,
+                },
+            )
+        )
     return specs
 
 
@@ -979,7 +1095,12 @@ def build_report(
             # "native" + compiled=False means the pure-python fallback ran
             "scheduler": backend["backend"],
             "compiled": backend["compiled"],
+            # fabric topology comes from the spec (not the cached value),
+            # so legacy cache entries report correctly too
+            "fabric": r.spec.params.get("fabric", "wire"),
         }
+        if "hops" in r.value:  # hierarchical fabrics: routing cost
+            entry["hops"] = r.value["hops"]
         if r.wall_seconds > 0 and r.events:
             #: host throughput — the human-facing perf headline; event
             #: counts remain the machine-independent gate
@@ -1039,7 +1160,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--suite", default="perf", choices=["perf", "figures", "faults", "scale"],
         help="perf: the regression scenario suite; figures: every paper "
         "panel; faults: seeded lossy/degraded scenarios with recovery; "
-        "scale: the 32-128 node scale-out suite on the aggregated fabric",
+        "scale: the 32-1024 node scale-out suite (aggregated star + "
+        "hierarchical fat-tree/torus fabrics)",
     )
     parser.add_argument(
         "--scale", default=None, choices=["ci", "bench", "paper", "large"],
@@ -1048,7 +1170,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--max-p", type=int, default=None,
         help="(scale suite) trim the processor axis to <= this many nodes "
-        "(the CI smoke job runs --max-p 32)",
+        "(the CI smoke job runs --max-p 64)",
+    )
+    parser.add_argument(
+        "--fabric", action="append", default=None, dest="fabrics",
+        choices=["aggregate", "fattree", "torus"],
+        help="(scale suite) restrict to these fabric kinds (repeatable; "
+        "default: all).  The CI matrix runs one kind per job; point "
+        "identities are filter-independent so the legs share caches",
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -1132,7 +1261,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.suite == "faults":
             points = fault_points(scale)
         elif args.suite == "scale":
-            points = scale_points(scale, max_p=args.max_p)
+            points = scale_points(scale, max_p=args.max_p, fabrics=args.fabrics)
         else:
             points = perf_points(scale)
         if args.telemetry or args.report:
@@ -1212,9 +1341,9 @@ def main(argv: Optional[list[str]] = None) -> int:
             except FileNotFoundError:
                 print(f"no reference at {args.reference}; run --update-reference")
                 return 1
-            if args.suite == "scale" and args.max_p is not None:
-                # The smoke job trims the processor axis; gate only the
-                # points it actually selected (names are trim-stable).
+            if args.suite == "scale" and (args.max_p is not None or args.fabrics):
+                # The smoke job trims the processor/fabric axes; gate only
+                # the points it actually selected (names are trim-stable).
                 selected = {s.name for s in points}
                 reference = {
                     **reference,

@@ -26,6 +26,7 @@ from ..net.fabric import (
     build_aggregate_star,
     build_star,
 )
+from ..net.topology import HierarchicalFabric, build_fattree, build_torus
 from ..net.nic import StandardNIC
 from ..net.switch import Switch
 from ..protocols.tcp import TCPConfig, TCPStack
@@ -35,7 +36,17 @@ from ..sim.trace import TraceRecorder
 from ..units import KiB
 from .node import Node
 
-__all__ = ["NodeHardware", "ClusterSpec", "Cluster", "athlon_node"]
+__all__ = ["NodeHardware", "ClusterSpec", "Cluster", "FABRIC_KINDS", "athlon_node"]
+
+#: supported ``ClusterSpec.fabric`` values, alphabetical
+FABRIC_KINDS = ("aggregate", "fattree", "torus", "wire")
+
+_FABRIC_BUILDERS = {
+    "wire": build_star,
+    "aggregate": build_aggregate_star,
+    "fattree": build_fattree,
+    "torus": build_torus,
+}
 
 
 @dataclass(frozen=True)
@@ -88,16 +99,36 @@ class ClusterSpec:
     #: fault-injection scenario; ``None`` (or an all-default spec) keeps
     #: the ideal fabric with zero extra hooks installed
     faults: Optional[FaultSpec] = None
-    #: fabric fidelity: ``"wire"`` builds the full per-wire star,
-    #: ``"aggregate"`` the O(ports) busy-until model for scale-out runs
+    #: fabric topology/fidelity: ``"wire"`` builds the full per-wire
+    #: star, ``"aggregate"`` the O(ports) busy-until star, ``"fattree"``
+    #: and ``"torus"`` the hierarchical multi-hop models
+    #: (:mod:`repro.net.topology`)
     fabric: str = "wire"
+    #: topology builder keyword options as sorted ``(key, value)`` pairs
+    #: (kept hashable so the frozen spec stays usable as a cache key) —
+    #: e.g. ``(("oversub", 2),)`` for a 2:1 fat-tree
+    fabric_options: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("cluster needs at least one node")
-        if self.fabric not in ("wire", "aggregate"):
+        if self.fabric not in FABRIC_KINDS:
             raise ValueError(
-                f"unknown fabric {self.fabric!r} (choose 'wire' or 'aggregate')"
+                f"unknown fabric {self.fabric!r} for ClusterSpec.fabric "
+                f"(choose from {', '.join(FABRIC_KINDS)})"
+            )
+        opts = tuple(
+            sorted(
+                (str(k), tuple(v) if isinstance(v, list) else v)
+                for k, v in self.fabric_options
+            )
+        )
+        object.__setattr__(self, "fabric_options", opts)
+        if opts and self.fabric in ("wire", "aggregate"):
+            names = ", ".join(k for k, _ in opts)
+            raise ValueError(
+                f"fabric options ({names}) are only valid for hierarchical "
+                f"fabrics (fattree, torus), not fabric={self.fabric!r}"
             )
 
     # -- builders ----------------------------------------------------------
@@ -130,9 +161,15 @@ class ClusterSpec:
     def with_seed(self, seed: int) -> "ClusterSpec":
         return replace(self, seed=seed)
 
-    def with_fabric(self, fabric: str) -> "ClusterSpec":
-        """With the given fabric fidelity (``"wire"`` or ``"aggregate"``)."""
-        return replace(self, fabric=fabric)
+    def with_fabric(self, fabric: str, **options) -> "ClusterSpec":
+        """With the given fabric kind (see :data:`FABRIC_KINDS`).
+
+        Keyword options parameterize hierarchical topologies, e.g.
+        ``with_fabric("fattree", oversub=2)`` or
+        ``with_fabric("torus", dims=(8, 8, 4))``.
+        """
+        opts = tuple(sorted(options.items()))
+        return replace(self, fabric=fabric, fabric_options=opts)
 
 
 class Cluster:
@@ -143,7 +180,7 @@ class Cluster:
         spec: ClusterSpec,
         sim: Simulator,
         nodes: list[Node],
-        switch: Switch | AggregateFabric,
+        switch: Switch | AggregateFabric | HierarchicalFabric,
         trace: TraceRecorder,
         streams: RandomStreams,
         fault_plan: Optional[FaultPlan] = None,
@@ -215,8 +252,14 @@ class Cluster:
                     )
                 stations.append((inic.address, inic))
             nodes.append(Node(sim, rank, cpu, pci, nic=nic, tcp=tcp, inic=inic))
-        builder = build_aggregate_star if spec.fabric == "aggregate" else build_star
-        switch = builder(sim, stations, tech=spec.network, faults=plan)
+        builder = _FABRIC_BUILDERS[spec.fabric]
+        switch = builder(
+            sim,
+            stations,
+            tech=spec.network,
+            faults=plan,
+            **dict(spec.fabric_options),
+        )
         return cls(spec, sim, nodes, switch, trace, streams, fault_plan=plan)
 
     def run(self, until=None, max_events=None):

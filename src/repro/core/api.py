@@ -159,10 +159,20 @@ class Experiment:
         """Fault-injection scenario (``None`` restores the ideal fabric)."""
         return self._with(faults=spec)
 
-    def fabric(self, kind: str) -> "Experiment":
-        """Fabric fidelity: ``"wire"`` (full star, the default) or
-        ``"aggregate"`` (O(ports) busy-until model for scale-out runs)."""
-        return self._with(fabric=kind)
+    def fabric(self, kind: str, **options) -> "Experiment":
+        """Fabric topology/fidelity (see
+        :data:`~repro.cluster.builder.FABRIC_KINDS`): ``"wire"`` (full
+        star, the default), ``"aggregate"`` (O(ports) busy-until star),
+        ``"fattree"`` or ``"torus"`` (hierarchical multi-hop models).
+
+        Keyword options parameterize hierarchical topologies::
+
+            Experiment().nodes(1024).fabric("fattree", oversub=2)
+            Experiment().nodes(512).fabric("torus", dims=(8, 8, 8))
+        """
+        return self._with(
+            fabric=kind, fabric_options=tuple(sorted(options.items()))
+        )
 
     def telemetry(self, enabled: bool = True) -> "Experiment":
         """Instrument every component at build time."""

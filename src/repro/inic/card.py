@@ -276,6 +276,13 @@ class INICCard:
             )
 
         self.design: Optional[Design] = None
+        #: datapath_rate cache: min core rate of the configured design.
+        #: Keyed on design identity — recomputed only when the design
+        #: changes, not per chunk (the per-chunk min-over-cores scan was
+        #: a measurable cost at 256+ nodes).
+        self._rate_design: Optional[Design] = None
+        self._design_min_rate: float = float("inf")
+        self._chunk_cache: dict[tuple[int, Optional[int]], list[int]] = {}
         self._wire_out: Optional[Wire] = None
 
         self._scatter_q: Store = Store(sim, name=f"{name}.scatters")
@@ -310,11 +317,18 @@ class INICCard:
     def datapath_rate(self, path_rate: float) -> float:
         """Effective stream rate: the slower of the bus path and the
         configured design's slowest core."""
-        rate = path_rate
-        if self.design is not None:
-            for core in self.design.cores:
-                rate = min(rate, core.rate(self.fabric.clock_hz))
-        return rate
+        design = self.design
+        if design is None:
+            return path_rate
+        if design is not self._rate_design:
+            clock = self.fabric.clock_hz
+            self._design_min_rate = min(
+                (core.rate(clock) for core in design.cores),
+                default=float("inf"),
+            )
+            self._rate_design = design
+        min_rate = self._design_min_rate
+        return path_rate if path_rate < min_rate else min_rate
 
     def register_telemetry(self, registry, prefix: str) -> None:
         """Register this card's instruments under ``prefix``.
@@ -457,6 +471,13 @@ class INICCard:
 
     # -- send datapath ------------------------------------------------------------------
     def _chunks_of(self, nbytes: int, window: Optional[int] = None) -> list[int]:
+        # Chunking is a pure function of (nbytes, window) for a given
+        # card spec, and an alltoall posts p blocks per node drawn from a
+        # handful of distinct sizes — memoize per card.  Callers iterate
+        # the list without mutating it.
+        cached = self._chunk_cache.get((nbytes, window))
+        if cached is not None:
+            return cached
         proto = self.spec.proto
         pkt = proto.packet_size
         n_packets = -(-nbytes // pkt)
@@ -482,13 +503,14 @@ class INICCard:
         while left > 0:
             sizes.append(min(chunk, left))
             left -= sizes[-1]
+        self._chunk_cache[(nbytes, window)] = sizes
         return sizes
 
     def _track_mem(self, delta: float) -> None:
-        self._mem_in_use += delta
-        self.stats.peak_memory_bytes = max(
-            self.stats.peak_memory_bytes, self._mem_in_use
-        )
+        in_use = self._mem_in_use + delta
+        self._mem_in_use = in_use
+        if in_use > self.stats.peak_memory_bytes:
+            self.stats.peak_memory_bytes = in_use
 
     def _ingest_loop(self):
         """host memory -> (transform cores) -> card memory, chunked."""
@@ -498,7 +520,6 @@ class INICCard:
             window = op.window_bytes or self.spec.flow_window
             for block in op.blocks:
                 sizes = self._chunks_of(block.nbytes, window)
-                pkt = self.spec.proto.packet_size
                 for i, size in enumerate(sizes):
                     yield self.host_tx.transfer(size)
                     # The datapath cores run inline; if the slowest core is

@@ -11,8 +11,18 @@ from .batching import (
 from .fabric import (
     FAST_ETHERNET,
     GIGABIT_ETHERNET,
+    AggregateFabric,
     NetworkTechnology,
+    build_aggregate_star,
     build_star,
+)
+from .topology import (
+    FatTreeTopology,
+    HierarchicalFabric,
+    TorusTopology,
+    build_fattree,
+    build_torus,
+    torus_dims,
 )
 from .link import Link, Wire
 from .nic import NICStats, StandardNIC
@@ -27,10 +37,14 @@ from .packet import (
 from .switch import PortStats, Switch
 
 __all__ = [
+    "AggregateFabric",
     "BROADCAST",
     "BatchPolicy",
     "DEFAULT_BATCH",
+    "FatTreeTopology",
+    "HierarchicalFabric",
     "PER_FRAME",
+    "TorusTopology",
     "WIRE_BATCH",
     "adaptive_quantum",
     "ETHERNET_MTU",
@@ -48,6 +62,10 @@ __all__ = [
     "StandardNIC",
     "Switch",
     "Wire",
+    "build_aggregate_star",
+    "build_fattree",
     "build_star",
+    "build_torus",
+    "torus_dims",
     "wire_bytes",
 ]

@@ -49,7 +49,19 @@ __all__ = [
     "AggregateFabric",
     "build_star",
     "build_aggregate_star",
+    "validate_stations",
 ]
+
+
+def validate_stations(
+    stations: Sequence[tuple[MacAddress, "FrameDevice"]]
+) -> None:
+    """Shared builder precondition: non-empty, no duplicate addresses."""
+    if not stations:
+        raise NetworkError("cannot build a fabric with no stations")
+    addresses = [addr for addr, _ in stations]
+    if len(set(a.value for a in addresses)) != len(addresses):
+        raise NetworkError("duplicate station addresses in fabric")
 
 
 @dataclass(frozen=True)
@@ -108,11 +120,7 @@ def build_star(
     installs per-wire link-fault injectors (on matching wire names) and
     applies forced switch-buffer pressure.
     """
-    if not stations:
-        raise NetworkError("cannot build a fabric with no stations")
-    addresses = [addr for addr, _ in stations]
-    if len(set(a.value for a in addresses)) != len(addresses):
-        raise NetworkError("duplicate station addresses in fabric")
+    validate_stations(stations)
 
     buffer_bytes = tech.switch_buffer_per_port
     if faults is not None:
@@ -164,24 +172,34 @@ class _AggregateUplink:
         "bandwidth",
         "propagation_delay",
         "_busy_until",
+        "fault",
         "frames_sent",
         "bytes_sent",
         "busy_time",
     )
 
-    def __init__(self, fabric: "AggregateFabric", port: int, name: str):
+    def __init__(self, fabric, port: int, name: str):
         self.fabric = fabric
         self.port = port
         self.name = name
         self.bandwidth = fabric.bandwidth
         self.propagation_delay = fabric.propagation_delay
         self._busy_until = 0.0
+        #: optional :class:`~repro.faults.WireFault` injector — same
+        #: surface as :class:`~repro.net.link.Wire`
+        self.fault = None
         self.frames_sent = 0
         self.bytes_sent = 0.0
         self.busy_time = 0.0
 
     def send(self, frame: Frame) -> float:
         return self.fabric._send(self, frame)
+
+    def install_fault(self, fault) -> None:
+        """Attach a :class:`~repro.faults.WireFault` injector."""
+        if self.fault is not None:
+            raise NetworkError(f"uplink {self.name!r} already has a fault injector")
+        self.fault = fault
 
     def utilization(self, elapsed: float) -> float:
         if elapsed <= 0:
@@ -256,7 +274,9 @@ class AggregateFabric:
         self._devices: list[Optional[FrameDevice]] = [None] * n_ports
         self._out_busy = [0.0] * n_ports
         self._stats = [PortStats() for _ in range(n_ports)]
-        self._table: dict[MacAddress, int] = {}
+        #: forwarding table keyed on the raw address value — an int hash
+        #: per frame instead of a tuple-building ``MacAddress.__hash__``
+        self._table: dict[int, int] = {}
 
     # -- wiring -----------------------------------------------------------------
     def uplink(self, port: int) -> _AggregateUplink:
@@ -274,7 +294,7 @@ class AggregateFabric:
     def learn(self, address: MacAddress, port: int) -> None:
         """Install a static forwarding entry."""
         self._check_port(port)
-        self._table[address] = port
+        self._table[address.value] = port
 
     def _check_port(self, port: int) -> None:
         if not 0 <= port < self.n_ports:
@@ -284,44 +304,62 @@ class AggregateFabric:
     def _send(self, uplink: _AggregateUplink, frame: Frame) -> float:
         sim = self.sim
         now = sim.now
+        fault = uplink.fault
         wire_size = frame.wire_size
         tx_time = wire_size / self.bandwidth
+        if fault is not None:
+            # Same semantics as Wire.send: a dropped transfer vanishes
+            # before serialization; a corrupted one burns its uplink
+            # serialization time and is discarded unreceived.
+            verdict = fault.disposition(frame, now)
+            if verdict == "drop":
+                return now
+            if verdict == "corrupt":
+                start = now if now > uplink._busy_until else uplink._busy_until
+                uplink._busy_until = start + tx_time
+                uplink.busy_time += tx_time
+                return uplink._busy_until + self.propagation_delay
         start = now if now > uplink._busy_until else uplink._busy_until
         uplink._busy_until = start + tx_time
         uplink.frames_sent += frame.frame_count
         uplink.bytes_sent += wire_size
         uplink.busy_time += tx_time
         arrival = start + tx_time + self.propagation_delay + self.forwarding_latency
-        if frame.dst.is_broadcast:
+        dst = frame.dst
+        if dst.value == -1:  # broadcast
             last = now
+            src_port = uplink.port
             for port in range(self.n_ports):
-                if port != uplink.port and self._devices[port] is not None:
-                    last = self._deliver(port, frame.clone_for(frame.dst), arrival, tx_time)
+                if port != src_port and self._devices[port] is not None:
+                    last = self._deliver(port, frame.clone_for(dst), arrival, tx_time)
             return last
-        port = self._table.get(frame.dst)
+        port = self._table.get(dst.value)
         if port is None:
-            raise NetworkError(f"no forwarding entry for {frame.dst}")
+            raise NetworkError(f"no forwarding entry for {dst}")
         return self._deliver(port, frame, arrival, tx_time)
 
     def _deliver(self, port: int, frame: Frame, arrival: float, tx_time: float) -> float:
         stats = self._stats[port]
         busy = self._out_busy[port]
+        wire_size = frame.wire_size
         backlog = (busy - arrival) * self.bandwidth if busy > arrival else 0.0
-        if backlog + frame.wire_size > self.buffer_bytes_per_port:
+        queued = backlog + wire_size
+        if queued > self.buffer_bytes_per_port:
             stats.frames_dropped += frame.frame_count
-            stats.bytes_dropped += frame.wire_size
+            stats.bytes_dropped += wire_size
             return self.sim.now
-        if backlog + frame.wire_size > stats.max_queue_bytes:
-            stats.max_queue_bytes = backlog + frame.wire_size
+        if queued > stats.max_queue_bytes:
+            stats.max_queue_bytes = queued
         done = (busy if busy > arrival else arrival) + tx_time
         self._out_busy[port] = done
         stats.frames_forwarded += frame.frame_count
-        stats.bytes_forwarded += frame.wire_size
+        stats.bytes_forwarded += wire_size
         deliver_at = done + self.propagation_delay
         device = self._devices[port]
         if device is None:
             raise NetworkError(f"fabric port {port} has no station attached")
-        self.sim.call_after(deliver_at - self.sim.now, device.receive_frame, frame)
+        sim = self.sim
+        sim.call_after(deliver_at - sim.now, device.receive_frame, frame)
         return deliver_at
 
     # -- statistics ---------------------------------------------------------------
@@ -373,33 +411,39 @@ def build_aggregate_star(
     """Wire ``stations`` to an :class:`AggregateFabric`.
 
     Drop-in alternative to :func:`build_star` for scale-out runs.
-    Fault injection needs the per-wire objects of the full model, so a
-    fault plan here is an error rather than a silent no-op.  ``batch``
-    is accepted for signature parity; in-fabric train merging does not
-    exist at this fidelity (see :class:`AggregateFabric`).
-    """
-    if faults is not None:
-        raise NetworkError(
-            "fault injection requires the full wire fabric; "
-            "use fabric='wire' (build_star) for fault scenarios"
-        )
-    if not stations:
-        raise NetworkError("cannot build a fabric with no stations")
-    addresses = [addr for addr, _ in stations]
-    if len(set(a.value for a in addresses)) != len(addresses):
-        raise NetworkError("duplicate station addresses in fabric")
+    ``batch`` is accepted for signature parity; in-fabric train merging
+    does not exist at this fidelity (see :class:`AggregateFabric`).
 
+    A ``faults`` plan installs per-uplink link-fault injectors (the
+    uplinks carry the same ``<name>.up<port>`` names as the full star's
+    wires, so a spec's ``wires`` pattern selects the same links) and
+    applies forced switch-buffer pressure.  At this fidelity there are
+    no downlink objects: a downlink fault in the full model and an
+    uplink fault here both cost the sender one lost transfer, so the
+    uplink stream is where all link faults are drawn.  Without a plan
+    the datapath is byte-for-byte the pre-fault one.
+    """
+    validate_stations(stations)
+
+    buffer_bytes = tech.switch_buffer_per_port
+    if faults is not None:
+        buffer_bytes = faults.switch_buffer(buffer_bytes)
     fabric = AggregateFabric(
         sim,
         n_ports=len(stations),
         bandwidth=tech.bandwidth,
         propagation_delay=tech.propagation_delay,
         forwarding_latency=tech.switch_latency,
-        buffer_bytes_per_port=tech.switch_buffer_per_port,
+        buffer_bytes_per_port=buffer_bytes,
         name=name,
     )
     for port, (addr, device) in enumerate(stations):
-        device.attach_wire(fabric.uplink(port))
+        uplink = fabric.uplink(port)
+        device.attach_wire(uplink)
         fabric.attach_station(port, device)
         fabric.learn(addr, port)
+        if faults is not None:
+            wf = faults.wire_fault(uplink.name)
+            if wf is not None:
+                uplink.install_fault(wf)
     return fabric

@@ -1,0 +1,774 @@
+"""Hierarchical fabrics: fat-tree and 3D-torus topologies at O(ports) cost.
+
+The single-star models (:func:`~repro.net.fabric.build_star`,
+:func:`~repro.net.fabric.build_aggregate_star`) stop at one switch.
+This module generalizes the :class:`~repro.net.fabric.AggregateFabric`
+trick — fold every contention point into a ``busy_until`` float clock —
+to *multi-hop* topologies: a frame's route is a short tuple of clock
+indices, each hop is a few float operations, and delivery is still a
+single pooled ``call_after``.  A 1024-node alltoall costs the same
+events per frame as the single star did.
+
+Topologies
+----------
+:class:`FatTreeTopology`
+    Two-level leaf/spine Clos.  Stations attach to leaves;
+    ``ceil(leaf_ports / oversub)`` spines give an ``oversub``:1
+    oversubscription of leaf uplink capacity.  Path selection is
+    ECMP-free and deterministic: traffic to destination ``d`` always
+    crosses spine ``d % n_spines`` — the same frame sequence routes
+    identically on every run and under any ``--jobs`` fan-out.
+
+:class:`TorusTopology`
+    3D torus with dimension-ordered (X then Y then Z) routing in the
+    spirit of APEnet+: each hop takes the shorter wrap direction, ties
+    break toward positive.  Each station's router contributes six
+    directional link clocks plus an ejection clock.
+
+Timing model (and where it approximates)
+----------------------------------------
+The end-to-end *base* latency of every path is kept identical to the
+single star's: uplink serialization + one propagation + one forwarding
+decision + one egress serialization + one propagation.  Intermediate
+hops are *contention-only*: crossing a busy inter-switch link waits for
+the link clock (FIFO, line-rate spacing) but an idle one is crossed for
+free — cut-through with zero per-hop latency.  Inter-switch links are
+lossless (credit-based link-level flow control, as on APEnet+'s torus
+links and InfiniBand-style Clos fabrics), so congestion there is
+queueing delay, never silent loss; only the final egress port keeps the
+star's Ethernet tail-drop semantics.
+That is deliberate: at low load a hierarchical fabric reproduces the
+single-star arrival times byte-for-byte (the A/B equivalence anchor,
+``python -m repro.net.topology --ab``), and under load the extra
+contention points shape the curves.  Pass ``hop_latency`` to charge a
+per-intermediate-hop store-and-forward cost instead; doing so breaks
+star equivalence by construction and is off by default.
+"""
+
+from __future__ import annotations
+
+from math import ceil, sqrt
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from ..errors import NetworkError
+from ..sim.engine import Simulator
+from .addresses import MacAddress
+from .batching import BatchPolicy, WIRE_BATCH
+from .fabric import (
+    FrameDevice,
+    GIGABIT_ETHERNET,
+    NetworkTechnology,
+    _AggregateUplink,
+    validate_stations,
+)
+from .packet import Frame
+from .switch import PortStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultPlan
+
+__all__ = [
+    "FatTreeTopology",
+    "TorusTopology",
+    "HierarchicalFabric",
+    "build_fattree",
+    "build_torus",
+    "torus_dims",
+]
+
+
+class FatTreeTopology:
+    """Two-level leaf/spine geometry + deterministic routing.
+
+    Clock layout (indices into the fabric's clock arrays):
+
+    * ``0 .. n-1`` — station egress ports (``leafL.downX``), the final
+      hop of every route;
+    * then ``n_leaves * n_spines`` leaf uplinks (``leafL.upS``);
+    * then ``n_spines * n_leaves`` spine downlinks (``spineS.downL``).
+    """
+
+    kind = "fattree"
+    #: Ethernet leaf/spine: the egress port tail-drops like the star's
+    lossless = False
+
+    def __init__(
+        self,
+        n_stations: int,
+        oversub: int = 1,
+        leaf_ports: Optional[int] = None,
+        leaves: Optional[int] = None,
+    ):
+        if n_stations < 1:
+            raise NetworkError("fat-tree needs at least one station")
+        if int(oversub) != oversub or oversub < 1:
+            raise NetworkError(
+                f"fat-tree oversub must be a positive integer, got {oversub!r}"
+            )
+        oversub = int(oversub)
+        if leaf_ports is None:
+            # Near-square default: ~sqrt(n) stations per leaf, so leaf
+            # count and leaf radix grow together.
+            leaf_ports = max(1, ceil(sqrt(n_stations)))
+        if leaf_ports < 1:
+            raise NetworkError(f"fat-tree leaf_ports must be >= 1, got {leaf_ports}")
+        if leaves is None:
+            leaves = ceil(n_stations / leaf_ports)
+        if leaves * leaf_ports < n_stations:
+            raise NetworkError(
+                f"fat-tree out of ports: {leaves} leaves x {leaf_ports} "
+                f"ports hold {leaves * leaf_ports} stations, need {n_stations}"
+            )
+        self.n_stations = n_stations
+        self.oversub = oversub
+        self.leaf_ports = leaf_ports
+        self.n_leaves = leaves
+        self.n_spines = max(1, ceil(leaf_ports / oversub))
+        self._up_base = n_stations
+        self._spine_base = n_stations + self.n_leaves * self.n_spines
+        self.n_clocks = self._spine_base + self.n_spines * self.n_leaves
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Clock indices the frame traverses; the last is the egress port."""
+        lp = self.leaf_ports
+        src_leaf = src // lp
+        dst_leaf = dst // lp
+        if src_leaf == dst_leaf:
+            return (dst,)
+        spine = dst % self.n_spines
+        return (
+            self._up_base + src_leaf * self.n_spines + spine,
+            self._spine_base + spine * self.n_leaves + dst_leaf,
+            dst,
+        )
+
+    def route_key(self, src: int, dst: int) -> int:
+        """Route-cache key: a fat-tree route only depends on the source
+        *leaf*, so the memo stays ``n_leaves * n`` entries, not ``n^2``."""
+        return (src // self.leaf_ports) * self.n_stations + dst
+
+    def clock_name(self, clock: int) -> str:
+        if clock < self._up_base:
+            return f"leaf{clock // self.leaf_ports}.down{clock % self.leaf_ports}"
+        if clock < self._spine_base:
+            k = clock - self._up_base
+            return f"leaf{k // self.n_spines}.up{k % self.n_spines}"
+        k = clock - self._spine_base
+        return f"spine{k // self.n_leaves}.down{k % self.n_leaves}"
+
+    def switches(self) -> list[tuple[str, list[int]]]:
+        """``(switch name, clock indices)`` pairs for telemetry."""
+        out = []
+        for leaf in range(self.n_leaves):
+            down = [
+                c
+                for c in range(leaf * self.leaf_ports, (leaf + 1) * self.leaf_ports)
+                if c < self.n_stations
+            ]
+            up = [
+                self._up_base + leaf * self.n_spines + s
+                for s in range(self.n_spines)
+            ]
+            out.append((f"leaf{leaf}", down + up))
+        for spine in range(self.n_spines):
+            out.append(
+                (
+                    f"spine{spine}",
+                    [
+                        self._spine_base + spine * self.n_leaves + leaf
+                        for leaf in range(self.n_leaves)
+                    ],
+                )
+            )
+        return out
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "leaves": self.n_leaves,
+            "spines": self.n_spines,
+            "leaf_ports": self.leaf_ports,
+            "oversub": self.oversub,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FatTreeTopology {self.n_stations} stations, "
+            f"{self.n_leaves}x{self.leaf_ports} leaves, {self.n_spines} spines>"
+        )
+
+
+def torus_dims(n: int) -> tuple[int, int, int]:
+    """A near-cubic exact factorization of ``n`` (X, Y, Z with XYZ=n)."""
+    if n < 1:
+        raise NetworkError(f"torus needs at least one station, got {n}")
+    target = n ** (1.0 / 3.0)
+    x = min(
+        (d for d in range(1, n + 1) if n % d == 0),
+        key=lambda d: (abs(d - target), d),
+    )
+    rest = n // x
+    target2 = sqrt(rest)
+    y = min(
+        (d for d in range(1, rest + 1) if rest % d == 0),
+        key=lambda d: (abs(d - target2), d),
+    )
+    return (x, y, rest // y)
+
+
+class TorusTopology:
+    """3D torus with dimension-ordered shortest-wrap routing.
+
+    Every router contributes seven clocks: ``+x,-x,+y,-y,+z,-z`` link
+    clocks (``router*7 + 0..5``) and one ejection port
+    (``router*7 + 6``) — the final hop of every route, playing the role
+    the output port plays in the star.
+    """
+
+    kind = "torus"
+    #: APEnet+-style system-area interconnect: credit-based link-level
+    #: flow control end to end, ejection included — congestion is
+    #: queueing delay, never loss
+    lossless = True
+
+    #: direction-clock display names, matching the route() encoding
+    _DIRS = ("x+", "x-", "y+", "y-", "z+", "z-", "eject")
+
+    def __init__(self, n_stations: int, dims: Optional[Sequence[int]] = None):
+        if n_stations < 1:
+            raise NetworkError("torus needs at least one station")
+        if dims is None:
+            dims = torus_dims(n_stations)
+        dims = tuple(int(d) for d in dims)
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise NetworkError(
+                f"torus dims must be three positive integers, got {dims!r}"
+            )
+        routers = dims[0] * dims[1] * dims[2]
+        if routers < n_stations:
+            raise NetworkError(
+                f"torus out of ports: dims {dims} hold {routers} stations, "
+                f"need {n_stations}"
+            )
+        self.n_stations = n_stations
+        self.dims = dims
+        self.n_routers = routers
+        self.n_clocks = routers * 7
+
+    def coords(self, router: int) -> tuple[int, int, int]:
+        x_dim, y_dim, _ = self.dims
+        return (
+            router % x_dim,
+            (router // x_dim) % y_dim,
+            router // (x_dim * y_dim),
+        )
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Dimension-ordered X->Y->Z, shorter wrap direction, positive
+        on ties; ends at the destination router's ejection clock."""
+        if src == dst:
+            return (dst * 7 + 6,)
+        x_dim, y_dim, _ = self.dims
+        dims = self.dims
+        hops = []
+        cur = [src % x_dim, (src // x_dim) % y_dim, src // (x_dim * y_dim)]
+        dst_c = (dst % x_dim, (dst // x_dim) % y_dim, dst // (x_dim * y_dim))
+        for axis in range(3):
+            d = dims[axis]
+            delta = (dst_c[axis] - cur[axis]) % d
+            if delta == 0:
+                continue
+            if delta <= d - delta:
+                step, direction, count = 1, 2 * axis, delta
+            else:
+                step, direction, count = -1, 2 * axis + 1, d - delta
+            for _ in range(count):
+                router = cur[0] + x_dim * (cur[1] + y_dim * cur[2])
+                hops.append(router * 7 + direction)
+                cur[axis] = (cur[axis] + step) % d
+        hops.append(dst * 7 + 6)
+        return tuple(hops)
+
+    def route_key(self, src: int, dst: int) -> int:
+        """Route-cache key: torus routes depend on the full pair."""
+        return src * self.n_stations + dst
+
+    def clock_name(self, clock: int) -> str:
+        return f"router{clock // 7}.{self._DIRS[clock % 7]}"
+
+    def switches(self) -> list[tuple[str, list[int]]]:
+        return [
+            (f"router{r}", list(range(r * 7, r * 7 + 7)))
+            for r in range(self.n_routers)
+        ]
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "dims": list(self.dims)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        x, y, z = self.dims
+        return f"<TorusTopology {self.n_stations} stations on {x}x{y}x{z}>"
+
+
+class HierarchicalFabric:
+    """Multi-hop fabric over per-hop ``busy_until`` clocks.
+
+    The generalization of :class:`~repro.net.fabric.AggregateFabric`:
+    instead of one output-port clock per destination, a topology maps
+    each (src, dst) pair to a tuple of clock indices.  Intermediate
+    clocks charge contention only (see the module docstring); the final
+    clock behaves exactly like the star's output port — FIFO drain at
+    line rate, byte-accounted tail drop (unless the topology is
+    ``lossless``), delivery one propagation after serialization
+    completes, as a single pooled ``call_after``.
+
+    The statistics/telemetry surface is a superset of
+    :class:`~repro.net.fabric.AggregateFabric`'s: ``port_stats(i)``
+    resolves to station ``i``'s egress clock, and per-switch counters
+    aggregate each switch's clocks at snapshot time (pull-based — the
+    hot path never touches them).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology,
+        bandwidth: float,
+        propagation_delay: float = 1e-6,
+        forwarding_latency: float = 4e-6,
+        buffer_bytes_per_port: float = 128 * 1024,
+        hop_latency: float = 0.0,
+        name: str = "fabric",
+    ):
+        if bandwidth <= 0:
+            raise NetworkError(f"fabric bandwidth must be > 0, got {bandwidth}")
+        if buffer_bytes_per_port <= 0:
+            raise NetworkError("fabric buffers must be > 0 bytes")
+        if hop_latency < 0:
+            raise NetworkError(f"negative hop latency {hop_latency}")
+        self.sim = sim
+        self.name = name
+        self.topology = topology
+        self.n_stations = topology.n_stations
+        self.n_ports = topology.n_stations
+        self.bandwidth = float(bandwidth)
+        self.propagation_delay = float(propagation_delay)
+        self.forwarding_latency = float(forwarding_latency)
+        self.buffer_bytes_per_port = float(buffer_bytes_per_port)
+        self.hop_latency = float(hop_latency)
+        self._lossless = bool(getattr(topology, "lossless", False))
+        self._route = topology.route
+        #: (route_key -> hop tuple) memo — routes are static, and at a
+        #: million frames per run recomputing them dominated the profile.
+        #: ``route_key(src, dst)`` is ``route_key(src, 0) + dst`` for
+        #: every topology (keys are row-linear in dst), so the per-frame
+        #: key is one list index and one add.
+        self._routes: dict[int, tuple[int, ...]] = {}
+        self._key_base = [
+            topology.route_key(s, 0) for s in range(self.n_stations)
+        ]
+        self._uplinks = [
+            _AggregateUplink(self, p, f"{name}.up{p}")
+            for p in range(self.n_stations)
+        ]
+        self._devices: list[Optional[FrameDevice]] = [None] * self.n_stations
+        self._clock_busy = [0.0] * topology.n_clocks
+        self._stats = [PortStats() for _ in range(topology.n_clocks)]
+        self._egress_clock = [
+            topology.route(s, s)[-1] for s in range(self.n_stations)
+        ]
+        self._table: dict[int, int] = {}
+        self._hops_total = 0
+        self._frames_routed = 0
+        self._max_hops = 0
+
+    # -- wiring -----------------------------------------------------------------
+    def uplink(self, port: int) -> _AggregateUplink:
+        """The TX handle to hand to the station on ``port``."""
+        self._check_port(port)
+        return self._uplinks[port]
+
+    def attach_station(self, port: int, device: FrameDevice) -> None:
+        self._check_port(port)
+        if self._devices[port] is not None:
+            raise NetworkError(f"fabric port {port} already attached")
+        self._devices[port] = device
+
+    def learn(self, address: MacAddress, port: int) -> None:
+        """Install a static forwarding entry."""
+        self._check_port(port)
+        self._table[address.value] = port
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_stations:
+            raise NetworkError(
+                f"port {port} out of range 0..{self.n_stations - 1}"
+            )
+
+    # -- data path ---------------------------------------------------------------
+    def _send(self, uplink: _AggregateUplink, frame: Frame) -> float:
+        sim = self.sim
+        now = sim.now
+        fault = uplink.fault
+        wire_size = frame.wire_size
+        tx_time = wire_size / self.bandwidth
+        if fault is not None:
+            # Same semantics as Wire.send / AggregateFabric._send.
+            verdict = fault.disposition(frame, now)
+            if verdict == "drop":
+                return now
+            if verdict == "corrupt":
+                start = now if now > uplink._busy_until else uplink._busy_until
+                uplink._busy_until = start + tx_time
+                uplink.busy_time += tx_time
+                return uplink._busy_until + self.propagation_delay
+        start = now if now > uplink._busy_until else uplink._busy_until
+        uplink._busy_until = start + tx_time
+        uplink.frames_sent += frame.frame_count
+        uplink.bytes_sent += wire_size
+        uplink.busy_time += tx_time
+        arrival = start + tx_time + self.propagation_delay + self.forwarding_latency
+        dst = frame.dst
+        if dst.value == -1:  # broadcast: fan out along each unicast route
+            last = now
+            src_port = uplink.port
+            for port in range(self.n_stations):
+                if port != src_port and self._devices[port] is not None:
+                    last = self._route_deliver(
+                        src_port, port, frame.clone_for(dst), arrival, tx_time
+                    )
+            return last
+        port = self._table.get(dst.value)
+        if port is None:
+            raise NetworkError(f"no forwarding entry for {dst}")
+        return self._route_deliver(uplink.port, port, frame, arrival, tx_time)
+
+    def _route_deliver(
+        self, src_port: int, dst_port: int, frame: Frame, arrival: float,
+        tx_time: float,
+    ) -> float:
+        key = self._key_base[src_port] + dst_port
+        hops = self._routes.get(key)
+        if hops is None:
+            hops = self._routes[key] = self._route(src_port, dst_port)
+        n_hops = len(hops)
+        self._frames_routed += 1
+        self._hops_total += n_hops
+        if n_hops > self._max_hops:
+            self._max_hops = n_hops
+        busy = self._clock_busy
+        all_stats = self._stats
+        wire_size = frame.wire_size
+        frame_count = frame.frame_count
+        bandwidth = self.bandwidth
+        buffer_bytes = self.buffer_bytes_per_port
+        hop_latency = self.hop_latency
+        # Intermediate hops: FIFO contention on each inter-switch link
+        # clock; an idle link adds hop_latency only.  Inter-switch links
+        # are *lossless* — credit-based link-level flow control, as in
+        # APEnet+'s torus links and InfiniBand-style Clos fabrics —
+        # so congestion shows up as queueing delay (watch
+        # ``max_queue_bytes``), never as silent loss the end-to-end
+        # protocols cannot attribute.  Only the final egress port keeps
+        # the star's Ethernet tail-drop semantics.
+        for i in range(n_hops - 1):
+            k = hops[i]
+            b = busy[k]
+            stats = all_stats[k]
+            backlog = (b - arrival) * bandwidth if b > arrival else 0.0
+            queued = backlog + wire_size
+            if queued > stats.max_queue_bytes:
+                stats.max_queue_bytes = queued
+            begin = b if b > arrival else arrival
+            busy[k] = begin + tx_time
+            stats.frames_forwarded += frame_count
+            stats.bytes_forwarded += wire_size
+            arrival = begin + hop_latency
+        # Final hop: the destination's egress port, exactly the star
+        # model — except on lossless topologies (the torus), where the
+        # ejection port is credit-backpressured like every other link
+        # and overflow becomes delay instead of loss.
+        k = hops[n_hops - 1]
+        b = busy[k]
+        stats = all_stats[k]
+        backlog = (b - arrival) * bandwidth if b > arrival else 0.0
+        queued = backlog + wire_size
+        if queued > buffer_bytes and not self._lossless:
+            stats.frames_dropped += frame_count
+            stats.bytes_dropped += wire_size
+            return self.sim.now
+        if queued > stats.max_queue_bytes:
+            stats.max_queue_bytes = queued
+        done = (b if b > arrival else arrival) + tx_time
+        busy[k] = done
+        stats.frames_forwarded += frame_count
+        stats.bytes_forwarded += wire_size
+        deliver_at = done + self.propagation_delay
+        device = self._devices[dst_port]
+        if device is None:
+            raise NetworkError(f"fabric port {dst_port} has no station attached")
+        sim = self.sim
+        sim.call_after(deliver_at - sim.now, device.receive_frame, frame)
+        return deliver_at
+
+    # -- statistics ---------------------------------------------------------------
+    def port_stats(self, port: int) -> PortStats:
+        """Station ``port``'s egress-clock stats (star-compatible view)."""
+        self._check_port(port)
+        return self._stats[self._egress_clock[port]]
+
+    def clock_stats(self, clock: int) -> PortStats:
+        """Stats of an arbitrary clock (use ``topology.clock_name``)."""
+        return self._stats[clock]
+
+    def total_dropped(self) -> int:
+        return sum(s.frames_dropped for s in self._stats)
+
+    def total_dropped_bytes(self) -> float:
+        return sum(s.bytes_dropped for s in self._stats)
+
+    def total_forwarded(self) -> int:
+        """Frames delivered to stations (egress-clock count, matching
+        the single-star fabrics; intermediate hops are not re-counted)."""
+        return sum(
+            self._stats[c].frames_forwarded for c in set(self._egress_clock)
+        )
+
+    def hop_stats(self) -> dict:
+        """Routing cost summary (JSON-safe; feeds sweep reports)."""
+        frames = self._frames_routed
+        return {
+            "frames": frames,
+            "total_hops": self._hops_total,
+            "max_hops": self._max_hops,
+            "avg_hops": (self._hops_total / frames) if frames else 0.0,
+        }
+
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Fabric-wide, per-station-port, and per-switch instruments.
+
+        Keeps the single-star naming for the shared surface
+        (``<prefix>.forwarded`` / ``.drops`` / ``.port<i>.*``) and adds
+        ``<prefix>.hops``, ``<prefix>.sw.<switch>.*`` aggregates.  All
+        pull-based: registration costs nothing on the data path.
+        """
+        registry.counter(f"{prefix}.drops", self.total_dropped)
+        registry.counter(f"{prefix}.forwarded", self.total_forwarded)
+        registry.counter(f"{prefix}.hops", lambda: self._hops_total)
+        registry.gauge(
+            f"{prefix}.avg_hops", lambda: self.hop_stats()["avg_hops"]
+        )
+        for port in range(self.n_stations):
+            stats = self._stats[self._egress_clock[port]]
+            p = f"{prefix}.port{port}"
+            registry.counter(f"{p}.frames", lambda s=stats: s.frames_forwarded)
+            registry.counter(f"{p}.bytes", lambda s=stats: s.bytes_forwarded, unit="B")
+            registry.counter(f"{p}.drops", lambda s=stats: s.frames_dropped)
+            registry.counter(
+                f"{p}.dropped_bytes", lambda s=stats: s.bytes_dropped, unit="B"
+            )
+            registry.gauge(
+                f"{p}.max_queue_bytes", lambda s=stats: s.max_queue_bytes, unit="B"
+            )
+        for switch, clocks in self.topology.switches():
+            p = f"{prefix}.sw.{switch}"
+            group = [self._stats[c] for c in clocks]
+            registry.counter(
+                f"{p}.frames",
+                lambda g=group: sum(s.frames_forwarded for s in g),
+            )
+            registry.counter(
+                f"{p}.bytes",
+                lambda g=group: sum(s.bytes_forwarded for s in g),
+                unit="B",
+            )
+            registry.counter(
+                f"{p}.drops", lambda g=group: sum(s.frames_dropped for s in g)
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HierarchicalFabric {self.name!r} {self.topology!r}>"
+        )
+
+
+def _build_hierarchical(
+    sim: Simulator,
+    stations: Sequence[tuple[MacAddress, FrameDevice]],
+    topology,
+    tech: NetworkTechnology,
+    name: str,
+    faults: Optional["FaultPlan"],
+    hop_latency: float,
+) -> HierarchicalFabric:
+    validate_stations(stations)
+    buffer_bytes = tech.switch_buffer_per_port
+    if faults is not None:
+        buffer_bytes = faults.switch_buffer(buffer_bytes)
+    fabric = HierarchicalFabric(
+        sim,
+        topology,
+        bandwidth=tech.bandwidth,
+        propagation_delay=tech.propagation_delay,
+        forwarding_latency=tech.switch_latency,
+        buffer_bytes_per_port=buffer_bytes,
+        hop_latency=hop_latency,
+        name=name,
+    )
+    for port, (addr, device) in enumerate(stations):
+        uplink = fabric.uplink(port)
+        device.attach_wire(uplink)
+        fabric.attach_station(port, device)
+        fabric.learn(addr, port)
+        if faults is not None:
+            wf = faults.wire_fault(uplink.name)
+            if wf is not None:
+                uplink.install_fault(wf)
+    return fabric
+
+
+def build_fattree(
+    sim: Simulator,
+    stations: Sequence[tuple[MacAddress, FrameDevice]],
+    tech: NetworkTechnology = GIGABIT_ETHERNET,
+    batch: BatchPolicy = WIRE_BATCH,
+    name: str = "fabric",
+    faults: Optional["FaultPlan"] = None,
+    oversub: int = 1,
+    leaf_ports: Optional[int] = None,
+    leaves: Optional[int] = None,
+    hop_latency: float = 0.0,
+) -> HierarchicalFabric:
+    """Wire ``stations`` to a leaf/spine fat-tree.
+
+    ``batch`` is accepted for builder-signature parity (no in-fabric
+    train merging at this fidelity).  ``faults`` installs per-uplink
+    injectors and buffer pressure, as on the aggregate star.
+    """
+    topo = FatTreeTopology(
+        len(stations), oversub=oversub, leaf_ports=leaf_ports, leaves=leaves
+    )
+    return _build_hierarchical(
+        sim, stations, topo, tech, name, faults, hop_latency
+    )
+
+
+def build_torus(
+    sim: Simulator,
+    stations: Sequence[tuple[MacAddress, FrameDevice]],
+    tech: NetworkTechnology = GIGABIT_ETHERNET,
+    batch: BatchPolicy = WIRE_BATCH,
+    name: str = "fabric",
+    faults: Optional["FaultPlan"] = None,
+    dims: Optional[Sequence[int]] = None,
+    hop_latency: float = 0.0,
+) -> HierarchicalFabric:
+    """Wire ``stations`` to a 3D torus (dimension-ordered routing)."""
+    topo = TorusTopology(len(stations), dims=dims)
+    return _build_hierarchical(
+        sim, stations, topo, tech, name, faults, hop_latency
+    )
+
+
+# ---------------------------------------------------------------------------
+# A/B equivalence harness (`python -m repro.net.topology --ab`)
+# ---------------------------------------------------------------------------
+class _ProbeStation:
+    """Minimal frame device that records (frame uid, arrival time)."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.wire = None
+        self.got: list[tuple[int, float]] = []
+
+    def attach_wire(self, wire) -> None:
+        self.wire = wire
+
+    def receive_frame(self, frame: Frame) -> None:
+        self.got.append((frame.uid, self.sim.now))
+
+
+def _ab_arrivals(builder, n: int, frames: int, gap: float, **opts):
+    """Drive a deterministic low-load pattern; return sorted arrivals.
+
+    Senders are scheduled ``gap`` apart (far above a frame's
+    serialization time), so no two transfers ever share an uplink, a
+    link clock, or an egress port: every fabric must produce the
+    *identical* float arrival times if its base path timing matches the
+    single star.  Returns ``[(dst, relative arrival), ...]``.
+    """
+    from .fabric import build_aggregate_star  # noqa: F401  (alias target)
+
+    sim = Simulator()
+    stations = [_ProbeStation(sim) for _ in range(n)]
+    addrs = [MacAddress(i) for i in range(n)]
+    fabric = builder(sim, list(zip(addrs, stations)), **opts)
+    sent = []
+    for i in range(frames):
+        src = (i * 7) % n
+        dst = (i * 13 + 5) % n
+        if src == dst:
+            dst = (dst + 1) % n
+        size = 64 + (i * 191) % 1400
+        at = i * gap
+
+        def fire(src=src, dst=dst, size=size):
+            stations[src].wire.send(
+                Frame(addrs[src], addrs[dst], payload_bytes=size, headers=8)
+            )
+
+        sim.call_after(at, fire)
+        sent.append((at, dst))
+    sim.run()
+    arrivals = []
+    for dst, st in enumerate(stations):
+        for _uid, t in st.got:
+            arrivals.append((dst, t))
+    arrivals.sort()
+    return arrivals, fabric
+
+
+def _ab_main(argv=None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.net.topology",
+        description="A/B: hierarchical fabrics vs the single aggregate star",
+    )
+    ap.add_argument("--ab", action="store_true", help="run the equivalence check")
+    ap.add_argument("--n", type=int, default=64, help="stations (default 64)")
+    ap.add_argument(
+        "--frames", type=int, default=512, help="probe transfers (default 512)"
+    )
+    args = ap.parse_args(argv)
+    if not args.ab:
+        ap.error("nothing to do (pass --ab)")
+    from .fabric import build_aggregate_star
+
+    n, frames = args.n, args.frames
+    gap = 1e-3  # >> any serialization time at 1 Gb/s: guaranteed low load
+    reference, _ = _ab_arrivals(build_aggregate_star, n, frames, gap)
+    failed = False
+    for label, builder, opts in (
+        ("fattree", build_fattree, {}),
+        ("fattree-oversub2", build_fattree, {"oversub": 2}),
+        ("torus", build_torus, {}),
+    ):
+        arrivals, fabric = _ab_arrivals(builder, n, frames, gap, **opts)
+        hops = fabric.hop_stats()
+        ok = arrivals == reference
+        multi = hops["max_hops"] > 1
+        status = "PASS" if ok and multi else "FAIL"
+        failed = failed or status == "FAIL"
+        print(
+            f"[ab] {label:18s} {status}  n={n} frames={frames} "
+            f"avg_hops={hops['avg_hops']:.2f} max_hops={hops['max_hops']}"
+            + ("" if ok else "  (arrival times diverge from star)")
+            + ("" if multi else "  (no multi-hop paths exercised)")
+        )
+    print(f"[ab] low-load equivalence: {'FAIL' if failed else 'PASS'}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(_ab_main())

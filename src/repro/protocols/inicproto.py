@@ -136,23 +136,36 @@ class TransferPlan:
         return sum(self.expected.values())
 
     def total_received(self) -> int:
-        return sum(self.received.values())
+        return self._total_received
 
     def account(self, src: MacAddress, nbytes: int) -> None:
-        """Record ``nbytes`` arriving from ``src``."""
+        """Record ``nbytes`` arriving from ``src``.
+
+        Accounting is O(1): a pending-peer counter and a running received
+        total replace the all-peers scan — ``account`` sits on the
+        per-chunk hot path, so at 1024 nodes the scan was O(p) work per
+        chunk (O(p^3) per alltoall phase).
+        """
         peer = src.value
-        if peer not in self.expected:
+        exp = self.expected.get(peer)
+        if exp is None:
             raise ProtocolError(f"{self.name}: unexpected sender {src}")
-        self.received[peer] += nbytes
-        if self.received[peer] > self.expected[peer]:
+        prev = self.received[peer]
+        new = prev + nbytes
+        if new > exp:
             if not self.tolerate_surplus:
                 raise ProtocolError(
                     f"{self.name}: peer {peer} overflowed plan "
-                    f"({self.received[peer]} > {self.expected[peer]})"
+                    f"({new} > {exp})"
                 )
-            self.surplus_bytes += self.received[peer] - self.expected[peer]
-            self.received[peer] = self.expected[peer]
-        self._check_done()
+            self.surplus_bytes += new - exp
+            new = exp
+        self.received[peer] = new
+        self._total_received += new - prev
+        if prev < exp <= new:
+            self._pending -= 1
+            if self._pending == 0 and not self._complete.triggered:
+                self._complete.succeed(dict(self.received))
 
     def missing_by_peer(self) -> dict[int, int]:
         """Byte ranges still owed, per incomplete peer — what a recovery
@@ -164,9 +177,12 @@ class TransferPlan:
         }
 
     def _check_done(self) -> None:
-        if not self._complete.triggered and all(
-            self.received[p] >= self.expected[p] for p in self.expected
-        ):
+        """Rebuild the O(1) accounting state from the dicts (init path)."""
+        self._pending = sum(
+            1 for p, e in self.expected.items() if self.received[p] < e
+        )
+        self._total_received = sum(self.received.values())
+        if self._pending == 0 and not self._complete.triggered:
             self._complete.succeed(dict(self.received))
 
 

@@ -2,14 +2,14 @@
 
 The aggregate fabric is the O(ports) busy-until model behind
 ``ClusterSpec.fabric == "aggregate"``; these tests pin its timing
-against the full wire star, its tail-drop accounting, and the
-fault-plan rejection contract.
+against the full wire star, its tail-drop accounting, and its
+per-uplink fault injection.
 """
 
 import pytest
 
 from repro.errors import NetworkError
-from repro.faults import FaultSpec, FaultPlan
+from repro.faults import FaultSpec, FaultPlan, WireFault
 from repro.net import (
     BROADCAST,
     Frame,
@@ -113,15 +113,81 @@ def test_backlog_past_port_buffer_tail_drops():
     assert stats.max_queue_bytes <= fabric.buffer_bytes_per_port
 
 
-def test_fault_plan_is_rejected():
+def make_fault_fabric(spec, n=3):
     sim = Simulator()
-    stations = [Station(sim) for _ in range(2)]
-    addrs = [MacAddress(i) for i in range(2)]
-    plan = FaultPlan(FaultSpec(loss_rate=0.1, seed=1))
-    with pytest.raises(NetworkError, match="full wire fabric"):
-        build_aggregate_star(
-            sim, list(zip(addrs, stations)), faults=plan
-        )
+    stations = [Station(sim) for _ in range(n)]
+    addrs = [MacAddress(i) for i in range(n)]
+    plan = FaultPlan(spec)
+    fabric = build_aggregate_star(sim, list(zip(addrs, stations)), faults=plan)
+    return sim, stations, addrs, fabric, plan
+
+
+def test_fault_plan_installs_per_uplink_injectors():
+    """A fault plan composes with the aggregate fabric: losses are drawn
+    from the same named per-uplink streams the full wire star uses."""
+    spec = FaultSpec(loss_rate=0.5, seed=11)
+    sim, stations, addrs, fabric, plan = make_fault_fabric(spec)
+    n = 100
+    for _ in range(n):
+        stations[0].send(Frame(addrs[0], addrs[1], payload_bytes=1000))
+    sim.run()
+    counters = plan.link_counters()
+    assert counters["frames_dropped"] > 0
+    assert len(stations[1].got) == n - counters["frames_dropped"]
+    # The stream is per-uplink and named like the wire star's uplinks:
+    # same seed, same name => identical decision sequence.
+    ref = WireFault(spec, "fabric.up0")
+    got = [d for _, d, _ in plan.schedule()["fabric.up0"]]
+    want = []
+    f = Frame(addrs[0], addrs[1], payload_bytes=1000)
+    for _ in range(len(got)):
+        while ref.disposition(f, 0.0) == "deliver":
+            pass
+        want.append(ref.log[-1][1])
+    assert got == want
+
+
+def test_fault_outage_window_drops_everything():
+    spec = FaultSpec(outages=((0.0, 1.0),), seed=3)
+    sim, stations, addrs, fabric, plan = make_fault_fabric(spec)
+    stations[0].send(Frame(addrs[0], addrs[1], payload_bytes=500))
+    sim.run()
+    assert stations[1].got == []
+    assert plan.link_counters()["frames_dropped"] == 1
+
+
+def test_fault_corrupt_burns_uplink_time():
+    """A corrupted transfer occupies the uplink (delaying the next send)
+    but is never delivered — mirroring Wire.send's CRC semantics."""
+    spec = FaultSpec(corrupt_rate=1.0, seed=5)
+    sim, stations, addrs, fabric, plan = make_fault_fabric(spec)
+    stations[0].send(Frame(addrs[0], addrs[1], payload_bytes=1000))
+    sim.run()
+    assert stations[1].got == []
+    uplink = stations[0].wire
+    assert uplink.busy_time > 0.0
+    assert uplink.frames_sent == 0  # never made it past the CRC
+    assert plan.link_counters()["frames_corrupted"] == 1
+
+
+def test_fault_buffer_pressure_scales_port_budget():
+    spec = FaultSpec(switch_buffer_scale=0.5, seed=1, loss_rate=1e-9)
+    sim, stations, addrs, fabric, plan = make_fault_fabric(spec)
+    assert fabric.buffer_bytes_per_port == pytest.approx(
+        GIGABIT_ETHERNET.switch_buffer_per_port * 0.5
+    )
+
+
+def test_zero_fault_plan_is_byte_identical():
+    """Building with faults=None and with no plan at all produce the
+    same arrival times (no injector hooks, no perturbation)."""
+    times = []
+    for faults in (None, None):
+        sim, stations, addrs, fabric = make_fabric()
+        stations[0].send(Frame(addrs[0], addrs[2], payload_bytes=1500))
+        sim.run()
+        times.append(stations[2].got[0][1])
+    assert times[0] == times[1]
 
 
 def test_builder_validates_stations():

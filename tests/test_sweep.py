@@ -234,12 +234,25 @@ def test_report_records_scheduler_and_throughput(monkeypatch):
 def test_scale_points_enumerate_large_suite():
     points = scale_points(Scale.large())
     names = [p.name for p in points]
-    assert len(names) == len(set(names)) == 12  # {sort,fft} x {gige,inic} x {32,64,128}
-    for p in points:
-        assert p.params["fabric"] == "aggregate"  # scale-out uses the O(ports) model
+    assert len(names) == len(set(names)) == 26
+    # The original single-star axis is unchanged: {sort,fft} x {gige,inic}
+    # x {32,64,128} on the aggregate fabric, same identities as before.
+    aggregate = [p for p in points if p.params["fabric"] == "aggregate"]
+    assert len(aggregate) == 12
+    for p in aggregate:
         assert p.params["p"] in (32, 64, 128)
     assert "scale-sort-inic-p128" in names
     assert "scale-fft-gige-p32" in names
+    # Hierarchical topology points extend the suite to 1024 nodes on the
+    # fat-tree; the torus (most event-expensive per frame) stops at 256.
+    for p in points:
+        if p.params["fabric"] == "torus":
+            assert p.params["p"] <= 256
+    assert "scale-sort-inic-fattree-p1024" in names
+    assert "scale-fft-inic-fattree-p1024" in names
+    assert "scale-sort-gige-fattree-p64" in names
+    assert "scale-sort-inic-torus-p256" in names
+    assert "scale-sort-inic-torus-p1024" not in names
 
 
 def test_scale_points_max_p_trims_without_changing_identity():

@@ -21,15 +21,22 @@ for compatibility but emit :class:`DeprecationWarning`.
 
 from .cluster.builder import ClusterSpec, NodeHardware, athlon_node
 from .core.api import Experiment, Session, build_acc, build_beowulf
-from .faults import FaultSpec
+from .faults import ComponentFaultSpec, FaultSpec, robustness_counters
+from .faults.campaign import (
+    CampaignSpec,
+    campaign_fault_spec,
+    fabric_components,
+)
 from .inic.card import ACEII_PROTOTYPE, CardSpec, IDEAL_INIC
 from .net.fabric import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkTechnology
 from .protocols.tcp import TCPConfig
 
 __all__ = [
     "ACEII_PROTOTYPE",
+    "CampaignSpec",
     "CardSpec",
     "ClusterSpec",
+    "ComponentFaultSpec",
     "Experiment",
     "FAST_ETHERNET",
     "FaultSpec",
@@ -42,4 +49,7 @@ __all__ = [
     "athlon_node",
     "build_acc",
     "build_beowulf",
+    "campaign_fault_spec",
+    "fabric_components",
+    "robustness_counters",
 ]

@@ -41,6 +41,13 @@ class Scale:
     fabric_procs: tuple[int, ...] = ()
     #: hierarchical topologies swept by the scale suite
     topologies: tuple[str, ...] = ()
+    #: chaos-campaign arrival window in simulated seconds — a scale
+    #: property because failures must arrive while the workload is
+    #: still on the wire (the window is workload-relative, armed at the
+    #: fabric's first frame; see ``repro.faults.campaign``).  The
+    #: default sits inside the ~12 ms exchange phase of the large
+    #: scale's p=256 sort.
+    chaos_horizon: float = 8e-3
 
     @classmethod
     def paper(cls) -> "Scale":

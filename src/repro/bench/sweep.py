@@ -54,6 +54,7 @@ __all__ = [
     "canonical_json",
     "perf_points",
     "fault_points",
+    "chaos_points",
     "scale_points",
     "scheduler_kind",
     "scheduler_backend",
@@ -181,6 +182,7 @@ _FAMILY_DEPS: dict[str, tuple[str, ...]] = {
     "des": (
         "repro.sim",
         "repro.hw",
+        "repro.faults",
         "repro.net",
         "repro.protocols",
         "repro.inic",
@@ -320,56 +322,36 @@ def _recovery_card(card, retries: int):
 
 
 def _robustness_counters(cluster, manager=None) -> dict:
-    """Cluster-wide fault/recovery counters, JSON-safe (satellite of the
-    fault-injection work: every fault point reports these)."""
-    out: dict[str, float | int] = {
-        "frames_dropped": 0,
-        "frames_corrupted": 0,
-        "bytes_dropped": 0.0,
-    }
-    if cluster.fault_plan is not None:
-        out.update(cluster.fault_plan.link_counters())
-    out["switch_dropped_frames"] = int(cluster.switch.total_dropped())
-    out["switch_dropped_bytes"] = float(cluster.switch.total_dropped_bytes())
-    rx_drops = 0
-    rx_drop_bytes = 0.0
-    retransmits = nacks = aborts = config_failures = 0
-    retransmitted_bytes = 0.0
-    for node in cluster.nodes:
-        if node.nic is not None:
-            rx_drops += node.nic.stats.rx_ring_drops
-            rx_drop_bytes += node.nic.stats.rx_ring_drop_bytes
-        if node.inic is not None:
-            s = node.inic.stats
-            retransmits += s.retransmits
-            retransmitted_bytes += s.retransmitted_bytes
-            nacks += s.nacks_sent
-            aborts += s.transfer_aborts
-            config_failures += node.inic.fabric.config_failures
-    out.update(
-        rx_ring_drops=rx_drops,
-        rx_ring_drop_bytes=float(rx_drop_bytes),
-        retransmits=retransmits,
-        retransmitted_bytes=float(retransmitted_bytes),
-        nacks_sent=nacks,
-        transfer_aborts=aborts,
-        config_failures=config_failures,
-    )
-    return out
+    """Cluster-wide fault/recovery counters (the shared aggregation now
+    lives in :func:`repro.faults.robustness_counters`, so the sweep,
+    the chaos harness, and ``Session.report()`` all read one source)."""
+    from ..faults import robustness_counters
+
+    return robustness_counters(cluster)
 
 
 def _merge_counters(a: dict, b: dict) -> dict:
-    return {k: a.get(k, 0) + b.get(k, 0) for k in {*a, *b}}
+    out = {}
+    for k in {*a, *b}:
+        va, vb = a.get(k), b.get(k)
+        if isinstance(va, dict) or isinstance(vb, dict):
+            out[k] = _merge_counters(va or {}, vb or {})
+        else:
+            out[k] = (va or 0) + (vb or 0)
+    return out
 
 
 def _fallback_faults(faults):
     """The fault spec a degraded host-TCP run inherits: resource-pressure
-    dimensions carry over, link-fault dimensions do not — the simplified
-    TCP model stands for a transport that recovers losses internally, so
-    injecting raw frame loss under it would model the wrong failure."""
+    dimensions carry over, link-fault and component-failure dimensions do
+    not — the simplified TCP model stands for a transport that recovers
+    losses internally, so injecting raw frame loss (or un-recovered
+    component blackholes) under it would model the wrong failure."""
     import dataclasses as dc
 
-    fb = dc.replace(faults, loss_rate=0.0, corrupt_rate=0.0, outages=())
+    fb = dc.replace(
+        faults, loss_rate=0.0, corrupt_rate=0.0, outages=(), components=()
+    )
     return fb if fb.enabled else None
 
 
@@ -1028,13 +1010,14 @@ def fault_points(scale) -> list[PointSpec]:
         )
     )
     # Fabric composition: the same lossy plan on the O(ports) aggregate
-    # star and on a fat-tree.  Both install the identical named
-    # per-uplink injectors the full wire star uses (fabric.up<i>, seeded
-    # via derive_seed), so recovery is exercised at every fidelity level.
+    # star, on a fat-tree, and on the torus.  All install the identical
+    # named per-uplink injectors the full wire star uses (fabric.up<i>,
+    # seeded via derive_seed), so recovery is exercised at every
+    # fidelity level; ``build_report`` records each row's fabric.
     rate = max(r for r in scale.loss_rates if r > 0) if any(
         r > 0 for r in scale.loss_rates
     ) else 0.01
-    for fabric in ("aggregate", "fattree"):
+    for fabric in ("aggregate", "fattree", "torus"):
         specs.append(
             PointSpec(
                 "sort-des",
@@ -1053,6 +1036,143 @@ def fault_points(scale) -> list[PointSpec]:
             )
         )
     return specs
+
+
+#: root seed for the chaos suite's campaign schedules
+CHAOS_SUITE_SEED = 11
+#: NACK/retransmit rounds granted to every chaos scenario — generous,
+#: because an undetected outage can eat several rounds back to back
+CHAOS_SUITE_RETRIES = 24
+
+
+def chaos_points(scale) -> list[PointSpec]:
+    """The chaos-campaign suite (``--suite chaos``): suite scenarios run
+    under seeded component-failure schedules (:mod:`repro.faults.campaign`).
+
+    * ``chaos-sort-fattree-p256`` — the acceptance anchor: a randomized
+      spine-failure campaign (Poisson arrivals, exponential MTTR,
+      blast radius 1) with a 100 us detection delay on the 256-node
+      fat-tree.  Flows hashed to a dead spine are blackholed until
+      detection, then rehash over the surviving spines; NACK recovery
+      retransmits the holes.
+    * ``chaos-sort-torus-p64`` — a deterministic single-router failure
+      on a 4x4x5 torus whose fifth Z-plane is station-free: wrap routes
+      cross the spare plane, so killing one spare router forces detours
+      while partitioning nothing — every transfer must complete.
+    * ``chaos-sort-aggregate-p64`` — a whole-uplink outage on the
+      aggregate star: one station loses all TX capacity for the window
+      and recovery must carry it past repair.
+
+    Every schedule is plain data inside the point's ``FaultSpec``
+    params, so the campaign is bit-identical across ``--jobs N`` by the
+    same argument as every other sweep point.
+    """
+    from ..faults import ComponentFaultSpec, FaultSpec
+    from ..faults.campaign import (
+        CampaignSpec,
+        campaign_fault_spec,
+        fabric_components,
+    )
+
+    e_init = scale.sort_keys
+    specs = []
+
+    campaign = CampaignSpec(
+        seed=CHAOS_SUITE_SEED,
+        horizon=scale.chaos_horizon,
+        failure_rate=600.0,
+        mttr=1.2e-3,
+        min_outage=3e-4,
+        max_failures=3,
+        max_concurrent=1,
+        detection_delay=1e-4,
+    )
+    spine_faults = campaign_fault_spec(
+        campaign, fabric_components("fattree", 256)
+    )
+    specs.append(
+        PointSpec(
+            "sort-des",
+            "chaos-sort-fattree-p256",
+            {
+                "e_init": e_init,
+                "p": 256,
+                "card": "aceii-prototype",
+                "seed": 2,
+                "fabric": "fattree",
+                "faults": spine_faults.to_params(),
+                "retries": CHAOS_SUITE_RETRIES,
+            },
+        )
+    )
+
+    # 64 stations on a 4x4x5 torus: routers 64..79 (the z=4 plane) carry
+    # transit wrap traffic but no stations, so failing one yields pure
+    # detours — the "no non-partitioned transfer aborts" anchor.
+    torus_faults = FaultSpec(
+        seed=CHAOS_SUITE_SEED,
+        components=(
+            ComponentFaultSpec("router64", windows=((5e-4, 5e-3),)),
+        ),
+    )
+    specs.append(
+        PointSpec(
+            "sort-des",
+            "chaos-sort-torus-p64",
+            {
+                "e_init": e_init,
+                "p": 64,
+                "card": "aceii-prototype",
+                "seed": 2,
+                "fabric": "torus",
+                "fabric_options": {"dims": [4, 4, 5]},
+                "faults": torus_faults.to_params(),
+                "retries": CHAOS_SUITE_RETRIES,
+            },
+        )
+    )
+
+    uplink_faults = FaultSpec(
+        seed=CHAOS_SUITE_SEED,
+        components=(
+            ComponentFaultSpec(
+                "up3", windows=((1e-3, 8e-4),), kind="uplink"
+            ),
+        ),
+    )
+    specs.append(
+        PointSpec(
+            "sort-des",
+            "chaos-sort-aggregate-p64",
+            {
+                "e_init": e_init,
+                "p": 64,
+                "card": "aceii-prototype",
+                "seed": 2,
+                "fabric": "aggregate",
+                "faults": uplink_faults.to_params(),
+                "retries": CHAOS_SUITE_RETRIES,
+            },
+        )
+    )
+    return specs
+
+
+def chaos_summary(doc: dict) -> dict:
+    """The wall-free canonical view of a chaos report: simulation output
+    only (events, makespans, outcome flags, robustness counters), no
+    wall clocks or cache state — two runs of the same campaign must
+    produce byte-identical summaries regardless of ``--jobs`` or host
+    load, and CI diffs them with ``cmp``."""
+    out = {"scale": doc["scale"], "scenarios": {}}
+    for name, entry in doc["scenarios"].items():
+        out["scenarios"][name] = {
+            k: entry[k]
+            for k in ("events", "makespan", "fabric", "aborted", "fallbacks",
+                      "faults", "hops")
+            if k in entry
+        }
+    return out
 
 
 def scheduler_kind() -> str:
@@ -1157,15 +1277,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         prog="python -m repro.bench.sweep", description=__doc__.splitlines()[0]
     )
     parser.add_argument(
-        "--suite", default="perf", choices=["perf", "figures", "faults", "scale"],
+        "--suite", default="perf",
+        choices=["perf", "figures", "faults", "scale", "chaos"],
         help="perf: the regression scenario suite; figures: every paper "
         "panel; faults: seeded lossy/degraded scenarios with recovery; "
         "scale: the 32-1024 node scale-out suite (aggregated star + "
-        "hierarchical fat-tree/torus fabrics)",
+        "hierarchical fat-tree/torus fabrics); chaos: seeded "
+        "component-failure campaigns with reroute/failover and "
+        "liveness/conservation invariant checks",
     )
     parser.add_argument(
         "--scale", default=None, choices=["ci", "bench", "paper", "large"],
-        help="problem-size bundle (default: ci, or large for --suite scale)",
+        help="problem-size bundle (default: ci, or large for "
+        "--suite scale/chaos)",
     )
     parser.add_argument(
         "--max-p", type=int, default=None,
@@ -1196,6 +1320,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="recompute every point even when cached",
     )
     parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument(
+        "--summary", default=None, metavar="PATH",
+        help="(chaos suite) also write the wall-free canonical summary "
+        "here — two runs of one campaign must match byte-for-byte, "
+        "whatever --jobs was (the CI chaos-smoke job cmp's them)",
+    )
     parser.add_argument(
         "--csv", default=None,
         help="(figures suite) export per-figure CSVs to this directory",
@@ -1228,7 +1358,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.scale is None:
-        args.scale = "large" if args.suite == "scale" else "ci"
+        args.scale = "large" if args.suite in ("scale", "chaos") else "ci"
     if args.reference is None:
         name = "scale_reference.json" if args.suite == "scale" else "perf_reference.json"
         args.reference = os.path.join("benchmarks", name)
@@ -1260,6 +1390,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     else:
         if args.suite == "faults":
             points = fault_points(scale)
+        elif args.suite == "chaos":
+            points = chaos_points(scale)
         elif args.suite == "scale":
             points = scale_points(scale, max_p=args.max_p, fabrics=args.fabrics)
         else:
@@ -1272,17 +1404,29 @@ def main(argv: Optional[list[str]] = None) -> int:
         results = engine.run(points)
         doc = build_report(results, scale.name, engine)
         write_report(doc, args.out)
+        if args.summary is not None:
+            write_report(chaos_summary(doc), args.summary)
         for name, r in doc["scenarios"].items():
             tag = "cached" if r["cached"] else f"{r['wall_seconds']:.3f}s"
             extra = ""
+            if args.suite in ("faults", "chaos") and r["fabric"] != "wire":
+                extra += f" fabric={r['fabric']}"
             if "faults" in r:
                 f = r["faults"]
-                extra = (
+                extra += (
                     f" dropped={f['frames_dropped']}"
                     f" retx={f['retransmits']}"
                     f" fallbacks={r['fallbacks']}"
                     f" aborted={r['aborted']}"
                 )
+                comp = f.get("components")
+                if comp:
+                    extra += (
+                        f" reroutes={comp['reroutes']}"
+                        f" failover_drops={comp['failover_drops']}"
+                        f" partition_drops={comp['partition_drops']}"
+                        f" uplink_drops={comp['uplink_drops']}"
+                    )
             print(
                 f"{name:22s} events={r['events']:>8d} "
                 f"makespan={r['makespan']:.6f} wall={tag}{extra}"
@@ -1295,17 +1439,59 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
 
         if args.report:
-            from ..telemetry.report import render_snapshot
+            from ..telemetry.report import render_outcomes, render_snapshot
 
             for name, r in doc["scenarios"].items():
                 metrics = r.get("metrics")
                 if metrics:
                     print(f"\n== {name} ==")
                     print(render_snapshot(metrics))
+                if "faults" in r:
+                    if not metrics:
+                        print(f"\n== {name} ==")
+                    print(render_outcomes(r))
 
         if args.update_reference:
             write_report(doc, args.reference)
             print(f"reference updated: {args.reference}")
+
+        if args.check and args.suite == "chaos":
+            from ..faults.campaign import check_invariants
+
+            violations = []
+            for name, r in doc["scenarios"].items():
+                violations.extend(check_invariants(name, r))
+            anchor = doc["scenarios"].get("chaos-sort-fattree-p256")
+            if anchor is not None:
+                comp = (anchor.get("faults") or {}).get("components") or {}
+                if not comp.get("reroutes"):
+                    violations.append(
+                        "chaos-sort-fattree-p256: spine campaign produced "
+                        "no reroutes (failover never engaged)"
+                    )
+            torus = doc["scenarios"].get("chaos-sort-torus-p64")
+            if torus is not None:
+                comp = (torus.get("faults") or {}).get("components") or {}
+                if not comp.get("reroutes"):
+                    violations.append(
+                        "chaos-sort-torus-p64: router failure produced no "
+                        "detours"
+                    )
+                if torus.get("aborted") or comp.get("partition_drops"):
+                    violations.append(
+                        "chaos-sort-torus-p64: a non-partitioned transfer "
+                        "aborted or was partition-dropped"
+                    )
+            print(
+                f"chaos campaign: {len(violations)} invariant violations "
+                f"across {len(doc['scenarios'])} scenarios"
+            )
+            if violations:
+                for msg in violations:
+                    print(f"FAIL {msg}")
+                return 1
+            print(f"PASS chaos suite: {len(doc['scenarios'])} scenarios")
+            return 0
 
         if args.check and args.suite == "faults":
             failures = []

@@ -260,6 +260,19 @@ class Cluster:
             faults=plan,
             **dict(spec.fabric_options),
         )
+        if plan is not None and plan.spec.components:
+            install = getattr(switch, "install_component_faults", None)
+            if install is None:
+                names = ", ".join(
+                    c.component for c in plan.spec.components
+                )
+                raise ValueError(
+                    f"fabric {spec.fabric!r} cannot schedule component "
+                    f"faults ({names}): the full wire star has no "
+                    f"failable components (choose from "
+                    f"{', '.join(k for k in FABRIC_KINDS if k != 'wire')})"
+                )
+            install(plan)
         return cls(spec, sim, nodes, switch, trace, streams, fault_plan=plan)
 
     def run(self, until=None, max_events=None):

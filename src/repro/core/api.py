@@ -42,7 +42,11 @@ from ..telemetry import (
     instrument_cluster,
 )
 from ..telemetry.perfetto import export_trace as _export_trace
-from ..telemetry.report import render_metrics, render_utilization
+from ..telemetry.report import (
+    render_metrics,
+    render_outcomes,
+    render_utilization,
+)
 from .manager import INICManager
 
 __all__ = ["Experiment", "Session", "build_acc", "build_beowulf"]
@@ -99,10 +103,17 @@ class Session:
         return _export_trace(path, self.cluster.trace, self.registry)
 
     def report(self) -> str:
-        """Human-readable utilization + metrics tables."""
+        """Human-readable utilization + metrics tables.  A faulted run
+        appends its transfer-outcome counters (drops, retransmits,
+        reroutes, the conservation ledger) so degraded paths are never
+        silent."""
         parts = [render_utilization(self.timeline())]
         if self.registry.enabled:
             parts.append(render_metrics(self.registry))
+        if self.cluster.fault_plan is not None:
+            from ..faults import robustness_counters
+
+            parts.append(render_outcomes(robustness_counters(self.cluster)))
         return "\n\n".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

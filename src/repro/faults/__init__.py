@@ -33,17 +33,20 @@ from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
-from .errors import FaultConfigError
-from .sim.rand import derive_seed
+from ..errors import FaultConfigError
+from ..sim.rand import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .net.packet import Frame
+    from ..net.packet import Frame
 
 __all__ = [
     "FaultSpec",
+    "ComponentFaultSpec",
+    "COMPONENT_KINDS",
     "NO_FAULTS",
     "WireFault",
     "FaultPlan",
+    "robustness_counters",
     "DELIVER",
     "DROP",
     "CORRUPT",
@@ -55,6 +58,143 @@ DELIVER = "deliver"
 DROP = "drop"
 #: the frame burns wire time but fails CRC at the sink (bit error)
 CORRUPT = "corrupt"
+
+#: component kinds a :class:`ComponentFaultSpec` may target
+COMPONENT_KINDS = ("switch", "uplink")
+
+
+def _validate_windows(
+    windows, field_name: str
+) -> tuple[tuple[float, float], ...]:
+    """Coerce and validate ``(start_s, duration_s)`` windows.
+
+    Windows must be sorted by start time and non-overlapping; a
+    zero-length gap (one window starting exactly where the previous one
+    ends) is allowed.  Violations raise :class:`FaultConfigError` naming
+    the offending field, its value, and the valid shape.
+    """
+    try:
+        coerced = tuple(tuple(float(x) for x in w) for w in windows)
+    except (TypeError, ValueError) as exc:
+        raise FaultConfigError(
+            f"{field_name} must be a sequence of (start_s, duration_s) "
+            f"pairs, got {windows!r}"
+        ) from exc
+    for i, w in enumerate(coerced):
+        if len(w) != 2:
+            raise FaultConfigError(
+                f"{field_name}[{i}] must be a (start_s, duration_s) pair, "
+                f"got {w!r}"
+            )
+    prev_start = prev_dur = None
+    for i, (start, duration) in enumerate(coerced):
+        if start < 0 or duration <= 0:
+            raise FaultConfigError(
+                f"{field_name}[{i}] is ({start}, {duration}): windows need "
+                f"start >= 0 and duration > 0"
+            )
+        if prev_start is not None:
+            if start < prev_start:
+                raise FaultConfigError(
+                    f"{field_name}[{i}] starts at {start}, before "
+                    f"{field_name}[{i - 1}] at {prev_start}: windows must "
+                    f"be sorted by start time"
+                )
+            if start < prev_start + prev_dur:
+                raise FaultConfigError(
+                    f"{field_name}[{i}] starting at {start} overlaps "
+                    f"{field_name}[{i - 1}] ({prev_start}, {prev_dur}), "
+                    f"which ends at {prev_start + prev_dur}: windows must "
+                    f"not overlap (zero-length gaps are allowed)"
+                )
+        prev_start, prev_dur = start, duration
+    return coerced
+
+
+@dataclass(frozen=True)
+class ComponentFaultSpec:
+    """Fail/repair schedule for one named fabric component.
+
+    ``component`` names a switch-level entity of the built fabric —
+    ``spine<K>`` / ``router<R>`` for ``kind="switch"`` on the
+    hierarchical fabrics, or an uplink port index (``up<P>``) for
+    ``kind="uplink"``.  During each ``(start_s, duration_s)`` window the
+    component is dead: frames crossing it are dropped (and charged to
+    the fabric's drop accounting) and, after the owning
+    :class:`FaultSpec`'s ``detection_delay``, routing adapts — the
+    fat-tree rehashes flows over surviving spines and the torus detours
+    via a fault-tolerant next-hop table.  At ``start + duration`` the
+    component repairs and routing converges back.
+
+    Frozen and JSON-safe so it can ride inside :class:`FaultSpec` (and
+    therefore inside a sweep ``PointSpec``) without breaking the
+    content-addressed cache.
+    """
+
+    #: fabric component name (e.g. ``"spine1"``, ``"router12"``, ``"up3"``)
+    component: str
+    #: fail/repair windows, ``(start_s, duration_s)`` each — sorted,
+    #: non-overlapping (validated like :attr:`FaultSpec.outages`)
+    windows: tuple[tuple[float, float], ...] = ()
+    #: what the name refers to — one of :data:`COMPONENT_KINDS`
+    kind: str = "switch"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.component, str) or not self.component:
+            raise FaultConfigError(
+                f"component must be a non-empty name string, "
+                f"got {self.component!r}"
+            )
+        if self.kind not in COMPONENT_KINDS:
+            raise FaultConfigError(
+                f"unknown component fault kind {self.kind!r} for "
+                f"{self.component!r} (choose from "
+                f"{', '.join(COMPONENT_KINDS)})"
+            )
+        object.__setattr__(
+            self,
+            "windows",
+            _validate_windows(
+                self.windows, f"components[{self.component!r}].windows"
+            ),
+        )
+        if not self.windows:
+            raise FaultConfigError(
+                f"components[{self.component!r}] schedules no windows: a "
+                f"component fault needs at least one (start_s, duration_s) "
+                f"window"
+            )
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "component": self.component,
+            "windows": [list(w) for w in self.windows],
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_params(cls, doc: dict) -> "ComponentFaultSpec":
+        if isinstance(doc, ComponentFaultSpec):
+            return doc
+        if not isinstance(doc, dict):
+            raise FaultConfigError(
+                f"component fault entries must be dicts or "
+                f"ComponentFaultSpec, got {doc!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise FaultConfigError(
+                f"unknown component fault fields {sorted(unknown)} "
+                f"(choose from {', '.join(sorted(known))})"
+            )
+        doc = dict(doc)
+        if "windows" in doc:
+            doc["windows"] = tuple(tuple(w) for w in doc["windows"])
+        return cls(**doc)
+
+    from_json = from_params
 
 
 @dataclass(frozen=True)
@@ -85,23 +225,48 @@ class FaultSpec:
     rx_ring_scale: float = 1.0
     #: per-attempt probability that an FPGA bitstream load fails
     config_failure_rate: float = 0.0
+    #: scheduled component (switch/spine/router/uplink) fail+repair
+    #: windows — see :class:`ComponentFaultSpec`
+    components: tuple[ComponentFaultSpec, ...] = ()
+    #: seconds between a component dying and routing reacting; frames
+    #: routed toward the dead component during this window are dropped
+    #: and charged (models failure-detection latency)
+    detection_delay: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("loss_rate", "corrupt_rate", "config_failure_rate"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
-                raise FaultConfigError(f"{name} must be in [0, 1], got {v}")
-        if self.switch_buffer_scale <= 0 or self.rx_ring_scale <= 0:
-            raise FaultConfigError("resource scale factors must be > 0")
-        object.__setattr__(
-            self, "outages", tuple(tuple(float(x) for x in o) for o in self.outages)
-        )
-        for start, duration in self.outages:
-            if start < 0 or duration <= 0:
                 raise FaultConfigError(
-                    f"outage windows need start >= 0 and duration > 0, "
-                    f"got ({start}, {duration})"
+                    f"{name} must be in [0, 1], got {v}"
                 )
+        for name in ("switch_buffer_scale", "rx_ring_scale"):
+            v = getattr(self, name)
+            if not v > 0:
+                raise FaultConfigError(f"{name} must be > 0, got {v}")
+        if self.detection_delay < 0:
+            raise FaultConfigError(
+                f"detection_delay must be >= 0 seconds, "
+                f"got {self.detection_delay}"
+            )
+        object.__setattr__(
+            self, "outages", _validate_windows(self.outages, "outages")
+        )
+        object.__setattr__(
+            self,
+            "components",
+            tuple(ComponentFaultSpec.from_params(c) for c in self.components),
+        )
+        seen: set[tuple[str, str]] = set()
+        for c in self.components:
+            key = (c.kind, c.component)
+            if key in seen:
+                raise FaultConfigError(
+                    f"duplicate component fault for {c.kind} "
+                    f"{c.component!r}: merge its windows into a single "
+                    f"ComponentFaultSpec"
+                )
+            seen.add(key)
 
     # -- sweep-spec embedding ----------------------------------------------------
     @property
@@ -118,9 +283,7 @@ class FaultSpec:
         so zero-fault specs keep their historical identity and cache)."""
         if not self.enabled:
             return None
-        doc = asdict(self)
-        doc["outages"] = [list(o) for o in self.outages]
-        return doc
+        return self.to_json()
 
     @classmethod
     def from_params(cls, doc: Optional[dict]) -> "FaultSpec":
@@ -129,10 +292,17 @@ class FaultSpec:
         known = {f.name for f in fields(cls)}
         unknown = set(doc) - known
         if unknown:
-            raise FaultConfigError(f"unknown fault fields {sorted(unknown)}")
+            raise FaultConfigError(
+                f"unknown fault fields {sorted(unknown)} "
+                f"(choose from {', '.join(sorted(known))})"
+            )
         doc = dict(doc)
         if "outages" in doc:
             doc["outages"] = tuple(tuple(o) for o in doc["outages"])
+        if "components" in doc:
+            doc["components"] = tuple(
+                ComponentFaultSpec.from_params(c) for c in doc["components"]
+            )
         return cls(**doc)
 
     # -- repo-wide config convention ----------------------------------------
@@ -145,6 +315,7 @@ class FaultSpec:
         """
         doc = asdict(self)
         doc["outages"] = [list(o) for o in self.outages]
+        doc["components"] = [c.to_json() for c in self.components]
         return doc
 
     @classmethod
@@ -276,3 +447,59 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FaultPlan seed={self.spec.seed} {len(self._wire_faults)} wires>"
+
+
+def robustness_counters(cluster) -> dict:
+    """Cluster-wide fault/recovery counters, JSON-safe.
+
+    The single aggregation every surface shares: fault-suite report rows,
+    the chaos campaign's invariant checks, and ``Session.report()``'s
+    outcome table all read this.  When the scenario schedules component
+    faults the payload gains ``components`` (reroute/failover/partition
+    accounting) and ``conservation`` (the frame ledger) sub-dicts;
+    link-fault-only payloads keep their historical flat shape.
+    """
+    out: dict = {
+        "frames_dropped": 0,
+        "frames_corrupted": 0,
+        "bytes_dropped": 0.0,
+    }
+    plan = cluster.fault_plan
+    if plan is not None:
+        out.update(plan.link_counters())
+    out["switch_dropped_frames"] = int(cluster.switch.total_dropped())
+    out["switch_dropped_bytes"] = float(cluster.switch.total_dropped_bytes())
+    rx_drops = 0
+    rx_drop_bytes = 0.0
+    retransmits = nacks = aborts = config_failures = 0
+    retransmitted_bytes = 0.0
+    for node in cluster.nodes:
+        if node.nic is not None:
+            rx_drops += node.nic.stats.rx_ring_drops
+            rx_drop_bytes += node.nic.stats.rx_ring_drop_bytes
+        if node.inic is not None:
+            s = node.inic.stats
+            retransmits += s.retransmits
+            retransmitted_bytes += s.retransmitted_bytes
+            nacks += s.nacks_sent
+            aborts += s.transfer_aborts
+            config_failures += node.inic.fabric.config_failures
+    out.update(
+        rx_ring_drops=rx_drops,
+        rx_ring_drop_bytes=float(rx_drop_bytes),
+        retransmits=retransmits,
+        retransmitted_bytes=float(retransmitted_bytes),
+        nacks_sent=nacks,
+        transfer_aborts=aborts,
+        config_failures=config_failures,
+    )
+    if plan is not None and plan.spec.components:
+        component_counters = getattr(
+            cluster.switch, "component_counters", None
+        )
+        if component_counters is not None:
+            out["components"] = component_counters()
+        conservation = getattr(cluster.switch, "conservation_counters", None)
+        if conservation is not None:
+            out["conservation"] = conservation()
+    return out

@@ -277,6 +277,17 @@ class AggregateFabric:
         #: forwarding table keyed on the raw address value — an int hash
         #: per frame instead of a tuple-building ``MacAddress.__hash__``
         self._table: dict[int, int] = {}
+        # -- component-failure state (empty unless a fault plan
+        # schedules uplink windows; the hot path pays a falsy check) ----
+        self._dead_uplinks: set[int] = set()
+        #: uplink windows awaiting the fabric's first frame (armed
+        #: lazily so schedules align with the workload, not with however
+        #: long setup — e.g. INIC bitstream configuration — took)
+        self._pending_components: list[tuple[int, float, float]] = []
+        self._frames_in = 0
+        self._uplink_drops = 0
+        self._uplink_drop_bytes = 0.0
+        self._component_transitions = 0
 
     # -- wiring -----------------------------------------------------------------
     def uplink(self, port: int) -> _AggregateUplink:
@@ -300,10 +311,103 @@ class AggregateFabric:
         if not 0 <= port < self.n_ports:
             raise NetworkError(f"port {port} out of range 0..{self.n_ports - 1}")
 
+    # -- component failures ------------------------------------------------------
+    def install_component_faults(self, plan: "FaultPlan") -> None:
+        """Validate and stage uplink fail/repair windows from ``plan``.
+
+        Window starts are **relative to the fabric's first frame** (see
+        :meth:`HierarchicalFabric.install_component_faults` for the
+        rationale); the schedule arms lazily when traffic begins.
+
+        The aggregate star folds the whole switch into per-port clocks,
+        so the only failable components at this fidelity are the station
+        uplinks (``up<P>``): during a window the port's entire uplink
+        capacity is gone and every transfer it would have carried is
+        dropped and counted.  ``kind="switch"`` components are rejected
+        loudly — a single-star switch failure is a whole-cluster outage,
+        not a reroute scenario; model it on a hierarchical fabric.
+        """
+        staged: list[tuple[int, float, float]] = []
+        for comp in plan.spec.components:
+            if comp.kind != "uplink":
+                raise NetworkError(
+                    f"aggregate star cannot fail switch component "
+                    f"{comp.component!r}: its single switch is every "
+                    f"station's only path (choose uplink components "
+                    f"up0..up{self.n_ports - 1}, or a fattree/torus "
+                    f"fabric for switch failures)"
+                )
+            if not (
+                comp.component.startswith("up")
+                and comp.component[2:].isdigit()
+                and int(comp.component[2:]) < self.n_ports
+            ):
+                raise NetworkError(
+                    f"unknown uplink component {comp.component!r} "
+                    f"(choose from up0..up{self.n_ports - 1})"
+                )
+            port = int(comp.component[2:])
+            staged.extend(
+                (port, start, duration) for start, duration in comp.windows
+            )
+        self._pending_components = staged
+
+    def _arm_component_faults(self) -> None:
+        """First fabric traffic: schedule the staged windows relative to
+        now.  A window starting at exactly 0 fails synchronously, so the
+        arming frame itself already sees the outage."""
+        staged, self._pending_components = self._pending_components, []
+        sim = self.sim
+        for port, start, duration in staged:
+            if start <= 0:
+                self._uplink_down(port)
+            else:
+                sim.call_after(start, self._uplink_down, port)
+            sim.call_after(start + duration, self._uplink_up, port)
+
+    def _uplink_down(self, port: int) -> None:
+        self._dead_uplinks.add(port)
+        self._component_transitions += 1
+
+    def _uplink_up(self, port: int) -> None:
+        self._dead_uplinks.discard(port)
+        self._component_transitions += 1
+
+    def component_counters(self) -> dict:
+        """Uplink-failure accounting (JSON-safe; feeds sweep reports)."""
+        return {
+            "reroutes": 0,
+            "failover_drops": 0,
+            "failover_drop_bytes": 0.0,
+            "partition_drops": 0,
+            "partition_drop_bytes": 0.0,
+            "uplink_drops": self._uplink_drops,
+            "uplink_drop_bytes": float(self._uplink_drop_bytes),
+            "transitions": self._component_transitions,
+        }
+
+    def conservation_counters(self) -> dict:
+        """Frame-conservation ledger (see the hierarchical fabric's):
+        every frame that reached forwarding is delivered or tail-dropped."""
+        return {
+            "frames_in": self._frames_in,
+            "frames_delivered": self.total_forwarded(),
+            "frames_dropped": self.total_dropped(),
+            "partition_drops": 0,
+        }
+
     # -- data path ---------------------------------------------------------------
     def _send(self, uplink: _AggregateUplink, frame: Frame) -> float:
         sim = self.sim
         now = sim.now
+        if self._pending_components:
+            self._arm_component_faults()
+        if self._dead_uplinks and uplink.port in self._dead_uplinks:
+            # Whole-uplink capacity loss: the transfer vanishes at the
+            # NIC; recovery (if enabled) retries past the window.
+            self._uplink_drops += frame.frame_count
+            self._uplink_drop_bytes += frame.wire_size
+            return now
         fault = uplink.fault
         wire_size = frame.wire_size
         tx_time = wire_size / self.bandwidth
@@ -342,6 +446,7 @@ class AggregateFabric:
         stats = self._stats[port]
         busy = self._out_busy[port]
         wire_size = frame.wire_size
+        self._frames_in += frame.frame_count
         backlog = (busy - arrival) * self.bandwidth if busy > arrival else 0.0
         queued = backlog + wire_size
         if queued > self.buffer_bytes_per_port:

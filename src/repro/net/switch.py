@@ -168,6 +168,7 @@ class Switch:
         self.batch = batch
         self._outputs = [_OutputPort(self, i) for i in range(n_ports)]
         self._table: dict[MacAddress, int] = {}
+        self._frames_in = 0
 
     # -- wiring -----------------------------------------------------------------
     def ingress_sink(self, port: int) -> _PortIngress:
@@ -200,11 +201,13 @@ class Switch:
         if frame.dst.is_broadcast:
             for port, out in enumerate(self._outputs):
                 if port != in_port and out.wire is not None:
+                    self._frames_in += frame.frame_count
                     out.enqueue(frame.clone_for(frame.dst), ready)
             return
         port = self._table.get(frame.dst)
         if port is None:
             raise SwitchError(f"no forwarding entry for {frame.dst}")
+        self._frames_in += frame.frame_count
         self._outputs[port].enqueue(frame, ready)
 
     # -- statistics ---------------------------------------------------------------
@@ -245,6 +248,20 @@ class Switch:
 
     def total_forwarded(self) -> int:
         return sum(o.stats.frames_forwarded for o in self._outputs)
+
+    def conservation_counters(self) -> dict:
+        """Frame-conservation ledger: every frame that entered the
+        crossbar is forwarded, tail-dropped, or still queued at the
+        snapshot (the chaos harness asserts the ledger balances)."""
+        return {
+            "frames_in": self._frames_in,
+            "frames_delivered": self.total_forwarded(),
+            "frames_dropped": self.total_dropped(),
+            "partition_drops": 0,
+            "frames_queued": sum(
+                f.frame_count for o in self._outputs for f, _ in o.queue
+            ),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Switch {self.name!r} {self.n_ports} ports>"

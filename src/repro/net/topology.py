@@ -147,6 +147,61 @@ class FatTreeTopology:
         *leaf*, so the memo stays ``n_leaves * n`` entries, not ``n^2``."""
         return (src // self.leaf_ports) * self.n_stations + dst
 
+    # -- component failures ------------------------------------------------
+    def switch_components(self) -> list[str]:
+        """Switch names a :class:`~repro.faults.ComponentFaultSpec` may
+        fail.  Only spines: a leaf is its stations' sole attachment, so
+        its failure is a station failure, not a reroute scenario."""
+        return [f"spine{s}" for s in range(self.n_spines)]
+
+    def failure_domain(self, component: str) -> tuple[int, tuple[int, ...]]:
+        """``(spine index, clock indices)`` killed by failing ``component``.
+
+        The domain is the spine's downlink clocks: a frame already
+        hashed to a dead spine crosses its leaf uplink (charged — the
+        leaf did serialize it) and is blackholed at the spine.
+        """
+        if component.startswith("spine") and component[5:].isdigit():
+            k = int(component[5:])
+            if k < self.n_spines:
+                return k, tuple(
+                    self._spine_base + k * self.n_leaves + leaf
+                    for leaf in range(self.n_leaves)
+                )
+        raise NetworkError(
+            f"unknown fat-tree switch component {component!r} (choose "
+            f"from {', '.join(self.switch_components())}; leaves are "
+            f"each their stations' only attachment and are not failable)"
+        )
+
+    def route_avoiding(
+        self, src: int, dst: int, dead: set, cache: Optional[dict] = None
+    ) -> tuple[Optional[tuple[int, ...]], bool]:
+        """Fault-tolerant route: ``(hops, rerouted)``.
+
+        Flows whose default spine survives keep their exact
+        zero-failure path; flows hashed to a dead spine rehash
+        deterministically over the surviving spines
+        (``live[dst % len(live)]``).  ``hops`` is ``None`` when no
+        spine survives — inter-leaf traffic is partitioned.
+        """
+        lp = self.leaf_ports
+        src_leaf = src // lp
+        if src_leaf == dst // lp:
+            return (dst,), False
+        spine = dst % self.n_spines
+        if spine not in dead:
+            return self.route(src, dst), False
+        live = [s for s in range(self.n_spines) if s not in dead]
+        if not live:
+            return None, True
+        spine = live[dst % len(live)]
+        return (
+            self._up_base + src_leaf * self.n_spines + spine,
+            self._spine_base + spine * self.n_leaves + dst // lp,
+            dst,
+        ), True
+
     def clock_name(self, clock: int) -> str:
         if clock < self._up_base:
             return f"leaf{clock // self.leaf_ports}.down{clock % self.leaf_ports}"
@@ -293,6 +348,102 @@ class TorusTopology:
         """Route-cache key: torus routes depend on the full pair."""
         return src * self.n_stations + dst
 
+    # -- component failures ------------------------------------------------
+    def neighbors(self, router: int) -> list[tuple[int, int]]:
+        """``(direction, neighbor router)`` pairs in direction order
+        (the deterministic tie-break order for detour routing)."""
+        x_dim, y_dim, z_dim = self.dims
+        c = self.coords(router)
+        out = []
+        for axis, dim in enumerate(self.dims):
+            if dim == 1:
+                continue  # a 1-wide axis wraps to self: no link
+            for direction, step in ((2 * axis, 1), (2 * axis + 1, -1)):
+                n = list(c)
+                n[axis] = (n[axis] + step) % dim
+                out.append((direction, n[0] + x_dim * (n[1] + y_dim * n[2])))
+        return out
+
+    def switch_components(self) -> list[str]:
+        """Router names a :class:`~repro.faults.ComponentFaultSpec` may
+        fail.  A dead router blocks transit; a station attached to it is
+        partitioned for the window."""
+        return [f"router{r}" for r in range(self.n_routers)]
+
+    def failure_domain(self, component: str) -> tuple[int, tuple[int, ...]]:
+        """``(router index, its seven clocks)`` for ``component``."""
+        if component.startswith("router") and component[6:].isdigit():
+            r = int(component[6:])
+            if r < self.n_routers:
+                return r, tuple(range(r * 7, r * 7 + 7))
+        raise NetworkError(
+            f"unknown torus switch component {component!r} "
+            f"(choose from router0..router{self.n_routers - 1})"
+        )
+
+    def _nexthop_table(self, dst: int, dead: set) -> dict[int, int]:
+        """Fault-tolerant next-hop table toward ``dst``: for every
+        router that can still reach ``dst``, the direction clock of a
+        shortest detour (BFS over live routers; among equal-length
+        choices the lowest direction index wins, so the table — and
+        every route walked from it — is deterministic)."""
+        dist = {dst: 0}
+        frontier = [dst]
+        while frontier:
+            nxt = []
+            for r in frontier:
+                for _d, nbr in self.neighbors(r):
+                    if nbr not in dist and nbr not in dead:
+                        dist[nbr] = dist[r] + 1
+                        nxt.append(nbr)
+            frontier = nxt
+        table: dict[int, int] = {}
+        for r, d_r in dist.items():
+            if r == dst:
+                continue
+            for direction, nbr in self.neighbors(r):
+                if dist.get(nbr) == d_r - 1:
+                    table[r] = r * 7 + direction
+                    break
+        return table
+
+    def route_avoiding(
+        self, src: int, dst: int, dead: set, cache: Optional[dict] = None
+    ) -> tuple[Optional[tuple[int, ...]], bool]:
+        """Fault-tolerant route: ``(hops, detoured)``.
+
+        The dimension-ordered path is kept verbatim when it crosses no
+        dead router (zero-failure pairs stay byte-identical); otherwise
+        the frame walks the precomputed next-hop table around the
+        failure.  ``hops`` is ``None`` when ``src`` or ``dst`` sits on
+        a dead router or the failure partitions the pair.
+        """
+        if src in dead or dst in dead:
+            return None, False
+        hops = self.route(src, dst)
+        if not any(h // 7 in dead for h in hops):
+            return hops, False
+        if cache is None:
+            cache = {}
+        table = cache.get(dst)
+        if table is None:
+            table = cache[dst] = self._nexthop_table(dst, dead)
+        x_dim, y_dim, _ = self.dims
+        out = []
+        r = src
+        while r != dst:
+            step = table.get(r)
+            if step is None:
+                return None, True  # the failure partitions this pair
+            out.append(step)
+            direction = step % 7
+            axis, sign = direction // 2, 1 if direction % 2 == 0 else -1
+            c = list(self.coords(r))
+            c[axis] = (c[axis] + sign) % self.dims[axis]
+            r = c[0] + x_dim * (c[1] + y_dim * c[2])
+        out.append(dst * 7 + 6)
+        return tuple(out), True
+
     def clock_name(self, clock: int) -> str:
         return f"router{clock // 7}.{self._DIRS[clock % 7]}"
 
@@ -381,6 +532,28 @@ class HierarchicalFabric:
         self._hops_total = 0
         self._frames_routed = 0
         self._max_hops = 0
+        # -- component-failure state (all empty/zero unless a fault plan
+        # schedules ComponentFaultSpec windows; the hot path only pays
+        # falsy checks on the empty containers) -------------------------
+        self._detection_delay = 0.0
+        #: component windows awaiting the fabric's first frame (armed
+        #: lazily so schedules align with the workload, not with however
+        #: long setup — e.g. INIC bitstream configuration — took)
+        self._pending_components: list[tuple] = []
+        self._failed_clocks: set[int] = set()   # frames crossing these drop
+        self._dead_switches: set[int] = set()   # routing's (detected) view
+        self._dead_uplinks: set[int] = set()
+        self._detour_keys: set[int] = set()     # route-memo keys on detours
+        self._ft_cache: dict[int, dict[int, int]] = {}
+        self._frames_in = 0
+        self._reroutes = 0
+        self._failover_drops = 0
+        self._failover_drop_bytes = 0.0
+        self._partition_drops = 0
+        self._partition_drop_bytes = 0.0
+        self._uplink_drops = 0
+        self._uplink_drop_bytes = 0.0
+        self._component_transitions = 0
 
     # -- wiring -----------------------------------------------------------------
     def uplink(self, port: int) -> _AggregateUplink:
@@ -405,10 +578,146 @@ class HierarchicalFabric:
                 f"port {port} out of range 0..{self.n_stations - 1}"
             )
 
+    # -- component failures ------------------------------------------------------
+    def install_component_faults(self, plan: "FaultPlan") -> None:
+        """Validate and stage every
+        :class:`~repro.faults.ComponentFaultSpec` window of ``plan``.
+
+        Window starts are **relative to the fabric's first frame**, not
+        to simulation time zero: the schedule arms lazily when traffic
+        begins, so setup phases of unpredictable length (INIC bitstream
+        configuration, TCP warm-up) never silently consume a campaign's
+        horizon.  First-frame time is itself a deterministic function of
+        the run, so schedules stay bit-identical across ``--jobs``.
+
+        At window start the component's clocks go dark (frames crossing
+        them are dropped and charged); ``detection_delay`` later routing
+        reacts — the fat-tree rehashes over surviving spines, the torus
+        detours via its next-hop table; at window end the component
+        repairs and routes converge back to the zero-failure paths.
+        """
+        spec = plan.spec
+        self._detection_delay = spec.detection_delay
+        staged: list[tuple] = []
+        for comp in spec.components:
+            if comp.kind == "uplink":
+                port = self._parse_uplink(comp.component)
+                staged.extend(
+                    ("uplink", port, None, start, duration)
+                    for start, duration in comp.windows
+                )
+                continue
+            entity, clocks = self.topology.failure_domain(comp.component)
+            staged.extend(
+                ("switch", entity, clocks, start, duration)
+                for start, duration in comp.windows
+            )
+        self._pending_components = staged
+
+    def _arm_component_faults(self) -> None:
+        """First fabric traffic: turn the staged windows into scheduled
+        fail/detect/repair events relative to now.  A window starting at
+        exactly 0 fails synchronously, so the arming frame itself
+        already sees the outage."""
+        staged, self._pending_components = self._pending_components, []
+        sim = self.sim
+        detect = self._detection_delay
+        for kind, entity, clocks, start, duration in staged:
+            if kind == "uplink":
+                if start <= 0:
+                    self._uplink_down(entity)
+                else:
+                    sim.call_after(start, self._uplink_down, entity)
+                sim.call_after(start + duration, self._uplink_up, entity)
+                continue
+            if start <= 0:
+                self._switch_down(entity, clocks)
+            else:
+                sim.call_after(start, self._switch_down, entity, clocks)
+            if 0 < detect < duration:
+                sim.call_after(start + detect, self._switch_detected, entity)
+            sim.call_after(start + duration, self._switch_up, entity, clocks)
+
+    def _parse_uplink(self, component: str) -> int:
+        if component.startswith("up") and component[2:].isdigit():
+            port = int(component[2:])
+            if port < self.n_stations:
+                return port
+        raise NetworkError(
+            f"unknown uplink component {component!r} "
+            f"(choose from up0..up{self.n_stations - 1})"
+        )
+
+    def _switch_down(self, entity: int, clocks: tuple[int, ...]) -> None:
+        self._failed_clocks.update(clocks)
+        self._component_transitions += 1
+        if self._detection_delay == 0:
+            self._switch_detected(entity)
+
+    def _switch_detected(self, entity: int) -> None:
+        self._dead_switches.add(entity)
+        self._flush_routes()
+
+    def _switch_up(self, entity: int, clocks: tuple[int, ...]) -> None:
+        self._failed_clocks.difference_update(clocks)
+        self._component_transitions += 1
+        if entity in self._dead_switches:
+            self._dead_switches.discard(entity)
+            self._flush_routes()
+
+    def _uplink_down(self, port: int) -> None:
+        self._dead_uplinks.add(port)
+        self._component_transitions += 1
+
+    def _uplink_up(self, port: int) -> None:
+        self._dead_uplinks.discard(port)
+        self._component_transitions += 1
+
+    def _flush_routes(self) -> None:
+        # Routing state changed: recompute every route lazily against
+        # the new live set (unaffected pairs recompute to their exact
+        # old paths, so zero-failure equivalence is preserved).
+        self._routes.clear()
+        self._detour_keys.clear()
+        self._ft_cache.clear()
+
+    def component_counters(self) -> dict:
+        """Failover/detour accounting (JSON-safe; feeds sweep reports)."""
+        return {
+            "reroutes": self._reroutes,
+            "failover_drops": self._failover_drops,
+            "failover_drop_bytes": float(self._failover_drop_bytes),
+            "partition_drops": self._partition_drops,
+            "partition_drop_bytes": float(self._partition_drop_bytes),
+            "uplink_drops": self._uplink_drops,
+            "uplink_drop_bytes": float(self._uplink_drop_bytes),
+            "transitions": self._component_transitions,
+        }
+
+    def conservation_counters(self) -> dict:
+        """Frame-conservation ledger: every frame the fabric routed is
+        delivered, dropped at a clock (tail drop or dead component), or
+        dropped at routing time for a partitioned destination — the
+        chaos harness asserts ``frames_in`` equals the sum."""
+        return {
+            "frames_in": self._frames_in,
+            "frames_delivered": self.total_forwarded(),
+            "frames_dropped": self.total_dropped(),
+            "partition_drops": self._partition_drops,
+        }
+
     # -- data path ---------------------------------------------------------------
     def _send(self, uplink: _AggregateUplink, frame: Frame) -> float:
         sim = self.sim
         now = sim.now
+        if self._pending_components:
+            self._arm_component_faults()
+        if self._dead_uplinks and uplink.port in self._dead_uplinks:
+            # The station's own uplink is down: the frame vanishes at
+            # the NIC (recovery, if enabled, will retry past the window).
+            self._uplink_drops += frame.frame_count
+            self._uplink_drop_bytes += frame.wire_size
+            return now
         fault = uplink.fault
         wire_size = frame.wire_size
         tx_time = wire_size / self.bandwidth
@@ -448,14 +757,41 @@ class HierarchicalFabric:
         tx_time: float,
     ) -> float:
         key = self._key_base[src_port] + dst_port
+        self._frames_in += frame.frame_count
         hops = self._routes.get(key)
         if hops is None:
-            hops = self._routes[key] = self._route(src_port, dst_port)
+            if self._dead_switches:
+                hops, detoured = self.topology.route_avoiding(
+                    src_port, dst_port, self._dead_switches, self._ft_cache
+                )
+                if hops is None:
+                    hops = ()  # cached partition sentinel
+                elif detoured:
+                    self._detour_keys.add(key)
+            else:
+                hops = self._route(src_port, dst_port)
+            self._routes[key] = hops
+        if not hops:
+            # Destination unreachable on the surviving topology: the
+            # frame is dropped at routing time; end-to-end recovery
+            # either outlives the window or surfaces TransferAborted.
+            self._partition_drops += frame.frame_count
+            self._partition_drop_bytes += frame.wire_size
+            return self.sim.now
+        if self._detour_keys and key in self._detour_keys:
+            self._reroutes += frame.frame_count
         n_hops = len(hops)
         self._frames_routed += 1
         self._hops_total += n_hops
         if n_hops > self._max_hops:
             self._max_hops = n_hops
+        if self._failed_clocks:
+            failed = self._failed_clocks
+            for i in range(n_hops):
+                if hops[i] in failed:
+                    return self._drop_at_failure(
+                        hops, i, frame, arrival, tx_time
+                    )
         busy = self._clock_busy
         all_stats = self._stats
         wire_size = frame.wire_size
@@ -510,6 +846,45 @@ class HierarchicalFabric:
         sim = self.sim
         sim.call_after(deliver_at - sim.now, device.receive_frame, frame)
         return deliver_at
+
+    def _drop_at_failure(
+        self,
+        hops: tuple[int, ...],
+        dead_index: int,
+        frame: Frame,
+        arrival: float,
+        tx_time: float,
+    ) -> float:
+        """The frame's route crosses a failed clock (detection window,
+        or a partially-detected multi-hop path): charge the live hops it
+        actually traversed, then blackhole it at the dead component —
+        the drop lands in that clock's :class:`PortStats`, so switch
+        drop totals and the conservation ledger both see it."""
+        busy = self._clock_busy
+        all_stats = self._stats
+        wire_size = frame.wire_size
+        frame_count = frame.frame_count
+        bandwidth = self.bandwidth
+        hop_latency = self.hop_latency
+        for i in range(dead_index):
+            k = hops[i]
+            b = busy[k]
+            stats = all_stats[k]
+            backlog = (b - arrival) * bandwidth if b > arrival else 0.0
+            queued = backlog + wire_size
+            if queued > stats.max_queue_bytes:
+                stats.max_queue_bytes = queued
+            begin = b if b > arrival else arrival
+            busy[k] = begin + tx_time
+            stats.frames_forwarded += frame_count
+            stats.bytes_forwarded += wire_size
+            arrival = begin + hop_latency
+        stats = all_stats[hops[dead_index]]
+        stats.frames_dropped += frame_count
+        stats.bytes_dropped += wire_size
+        self._failover_drops += frame_count
+        self._failover_drop_bytes += wire_size
+        return self.sim.now
 
     # -- statistics ---------------------------------------------------------------
     def port_stats(self, port: int) -> PortStats:

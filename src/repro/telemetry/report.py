@@ -7,7 +7,12 @@ from typing import Optional
 from .registry import MetricsRegistry
 from .timeline import Timeline
 
-__all__ = ["render_metrics", "render_snapshot", "render_utilization"]
+__all__ = [
+    "render_metrics",
+    "render_outcomes",
+    "render_snapshot",
+    "render_utilization",
+]
 
 
 def _fmt(value: float, unit: str) -> str:
@@ -71,6 +76,40 @@ def render_snapshot(metrics: dict, prefix: Optional[str] = None) -> str:
         return "(no instruments recorded)"
     w_name = max(len(r[0]) for r in rows)
     lines = [f"{'instrument':<{w_name}}  value", f"{'-' * w_name}  {'-' * 12}"]
+    lines.extend(f"{name:<{w_name}}  {value}" for name, value in rows)
+    return "\n".join(lines)
+
+
+def render_outcomes(entry: dict) -> str:
+    """Structured transfer-outcome table for a faulted run.
+
+    ``entry`` is either a sweep report scenario row (with ``faults``,
+    ``aborted``, ``fallbacks`` keys) or a bare counters dict as returned
+    by :func:`repro.faults.robustness_counters`.  Nested ``components``
+    and ``conservation`` ledgers render as dotted rows; zero-valued
+    counters are kept so absence of a failure mode is visible too.
+    """
+    counters = entry.get("faults", entry) or {}
+    rows: list[tuple[str, str]] = []
+    if counters is not entry:
+        for key in ("aborted", "fallbacks"):
+            rows.append((key, _fmt(float(entry.get(key) or 0), "")))
+
+    def flatten(prefix: str, doc: dict) -> None:
+        for name in sorted(doc):
+            value = doc[name]
+            if isinstance(value, dict):
+                flatten(f"{prefix}{name}.", value)
+            else:
+                rows.append(
+                    (f"{prefix}{name}", _fmt(value, _guess_unit(name)))
+                )
+
+    flatten("", counters)
+    if not rows:
+        return "(no outcome counters recorded)"
+    w_name = max(len(r[0]) for r in rows)
+    lines = [f"{'outcome':<{w_name}}  value", f"{'-' * w_name}  {'-' * 12}"]
     lines.extend(f"{name:<{w_name}}  {value}" for name, value in rows)
     return "\n".join(lines)
 

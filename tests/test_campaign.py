@@ -1,0 +1,201 @@
+"""Chaos-campaign harness tests (:mod:`repro.faults.campaign`).
+
+The campaign's whole value is that a randomized failure schedule is
+*pure data*: realized once from a named seed stream, validated like any
+hand-written :class:`ComponentFaultSpec`, and bit-identical however the
+sweep that runs it is parallelized.  These tests pin that, plus the
+invariant checker the ``--suite chaos`` gate is built on.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults import ComponentFaultSpec, FaultSpec
+from repro.faults.campaign import (
+    CampaignSpec,
+    campaign_fault_spec,
+    check_invariants,
+    fabric_components,
+    realize,
+)
+
+
+def _components(n=8):
+    return [(f"spine{s}", "switch") for s in range(n)]
+
+
+# -- CampaignSpec validation -------------------------------------------------
+
+
+def test_campaign_spec_validates_fields_loudly():
+    with pytest.raises(FaultConfigError, match="horizon must be > 0"):
+        CampaignSpec(horizon=0.0)
+    with pytest.raises(FaultConfigError, match="failure_rate must be > 0"):
+        CampaignSpec(failure_rate=-1.0)
+    with pytest.raises(FaultConfigError, match="positive integer"):
+        CampaignSpec(max_failures=0)
+    with pytest.raises(FaultConfigError, match="positive integer"):
+        CampaignSpec(max_concurrent=1.5)
+    with pytest.raises(FaultConfigError, match="detection_delay"):
+        CampaignSpec(detection_delay=-1e-6)
+
+
+def test_campaign_spec_json_roundtrip_rejects_unknown_fields():
+    spec = CampaignSpec(seed=7, horizon=5e-3, max_failures=2)
+    assert CampaignSpec.from_json(spec.to_json()) == spec
+    with pytest.raises(FaultConfigError, match="unknown campaign fields"):
+        CampaignSpec.from_json({"seed": 1, "blast_radius": 3})
+
+
+# -- realize: determinism and budgets ----------------------------------------
+
+
+def test_realized_schedule_is_deterministic():
+    spec = CampaignSpec(seed=11, horizon=8e-3, failure_rate=600.0)
+    assert realize(spec, _components()) == realize(spec, _components())
+    other = CampaignSpec(seed=12, horizon=8e-3, failure_rate=600.0)
+    assert realize(spec, _components()) != realize(other, _components())
+
+
+def test_realized_schedule_validates_as_component_specs():
+    spec = CampaignSpec(seed=3, horizon=0.02, failure_rate=900.0, max_failures=8)
+    for comp in realize(spec, _components()):
+        assert isinstance(comp, ComponentFaultSpec)
+        # Re-validating from JSON must succeed: sorted, non-overlapping.
+        assert ComponentFaultSpec.from_params(comp.to_json()) == comp
+
+
+def test_realize_respects_failure_and_concurrency_budgets():
+    spec = CampaignSpec(
+        seed=5, horizon=1.0, failure_rate=500.0, mttr=0.5,
+        max_failures=6, max_concurrent=1,
+    )
+    realized = realize(spec, _components())
+    windows = sorted(
+        (start, start + dur) for c in realized for start, dur in c.windows
+    )
+    assert 1 <= len(windows) <= 6
+    for (_, end), (start, _) in zip(windows, windows[1:]):
+        assert start >= end, "max_concurrent=1 must serialize outages"
+
+
+def test_loosening_budget_shares_the_arrival_process():
+    """Skipped arrivals consume their draws, so both budgets realize
+    from the *same* candidate-failure sequence: every window the tight
+    run admitted either survives verbatim in the loose run, or collided
+    with an extra window the loose budget admitted on that component —
+    admission changes, the underlying arrivals never do."""
+    base = CampaignSpec(
+        seed=5, horizon=1.0, failure_rate=60.0, mttr=0.1,
+        max_failures=200, max_concurrent=1,
+    )
+    loose = CampaignSpec(**{**base.to_json(), "max_concurrent": 4})
+    tight_windows = {
+        (c.component, w) for c in realize(base, _components()) for w in c.windows
+    }
+    loose_by_comp: dict[str, list[tuple[float, float]]] = {}
+    for c in realize(loose, _components()):
+        loose_by_comp.setdefault(c.component, []).extend(c.windows)
+    assert len(tight_windows) >= 1
+    for comp, (start, dur) in tight_windows:
+        mine = loose_by_comp.get(comp, [])
+        assert (start, dur) in mine or any(
+            start < s + d and s < start + dur for s, d in mine
+        ), f"{comp} window {(start, dur)} vanished without a collision"
+
+
+def test_realize_rejects_empty_component_list():
+    with pytest.raises(FaultConfigError, match="zero failable components"):
+        realize(CampaignSpec(), [])
+
+
+def test_campaign_fault_spec_carries_schedule_and_extras():
+    spec = campaign_fault_spec(
+        CampaignSpec(seed=11, detection_delay=1e-4),
+        _components(),
+        loss_rate=0.01,
+    )
+    assert isinstance(spec, FaultSpec)
+    assert spec.components
+    assert spec.detection_delay == 1e-4
+    assert spec.loss_rate == 0.01
+    # The whole thing still round-trips as sweep params.
+    assert FaultSpec.from_params(spec.to_params()) == spec
+
+
+# -- fabric_components -------------------------------------------------------
+
+
+def test_fabric_components_match_topology_names():
+    assert ("spine0", "switch") in fabric_components("fattree", 64)
+    assert ("router0", "switch") in fabric_components("torus", 8)
+    assert fabric_components("aggregate", 4) == [
+        (f"up{p}", "uplink") for p in range(4)
+    ]
+    torus = fabric_components("torus", 64, {"dims": [4, 4, 5]})
+    assert ("router79", "switch") in torus  # spare-plane routers failable
+    with pytest.raises(FaultConfigError, match="no failable components"):
+        fabric_components("wire", 4)
+
+
+# -- check_invariants --------------------------------------------------------
+
+
+def _entry(**over):
+    entry = {
+        "makespan": 1e-3,
+        "aborted": False,
+        "fallbacks": 0,
+        "faults": {
+            "transfer_aborts": 0,
+            "components": {"reroutes": 4, "failover_drops": 1},
+            "conservation": {
+                "frames_in": 10,
+                "frames_delivered": 9,
+                "frames_dropped": 1,
+                "partition_drops": 0,
+            },
+        },
+    }
+    entry.update(over)
+    return entry
+
+
+def test_check_invariants_passes_a_sound_entry():
+    assert check_invariants("ok", _entry()) == []
+
+
+def test_check_invariants_flags_nonfinite_makespan():
+    assert any(
+        "not finite" in v
+        for v in check_invariants("bad", _entry(makespan=math.inf))
+    )
+    assert any(
+        "not finite" in v for v in check_invariants("bad", _entry(makespan=None))
+    )
+
+
+def test_check_invariants_flags_unbalanced_ledger():
+    entry = _entry()
+    entry["faults"]["conservation"]["frames_delivered"] = 7
+    violations = check_invariants("bad", entry)
+    assert any("conservation ledger off by 2" in v for v in violations)
+
+
+def test_check_invariants_flags_negative_and_hidden_counters():
+    entry = _entry()
+    entry["faults"]["components"]["reroutes"] = -1
+    assert any(
+        "components.reroutes is negative" in v
+        for v in check_invariants("bad", entry)
+    )
+    entry = _entry()
+    entry["faults"]["transfer_aborts"] = 2
+    assert any(
+        "not surfaced" in v for v in check_invariants("bad", entry)
+    )
+    # ... but an abort surfaced as an aborted outcome is fine.
+    entry["aborted"] = True
+    assert check_invariants("ok", entry) == []

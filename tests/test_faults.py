@@ -19,6 +19,7 @@ from repro.errors import (
     TransferAborted,
 )
 from repro.faults import (
+    ComponentFaultSpec,
     CORRUPT,
     DELIVER,
     DROP,
@@ -114,6 +115,104 @@ def test_wire_fault_outage_drops_everything_inside_window():
     assert fault.disposition(f, 0.005) == DELIVER
     assert fault.disposition(f, 0.015) == DROP
     assert fault.disposition(f, 0.031) == DELIVER
+
+
+def test_outage_window_validation_follows_convention():
+    """Bad windows carry value, position, and the rule broken."""
+    with pytest.raises(FaultConfigError, match=r"outages\[0\] is "):
+        FaultSpec(outages=((0.1, -0.1),))
+    with pytest.raises(FaultConfigError, match="must be sorted by start"):
+        FaultSpec(outages=((0.2, 0.1), (0.1, 0.05)))
+    with pytest.raises(FaultConfigError, match="must not overlap"):
+        FaultSpec(outages=((0.1, 0.2), (0.2, 0.1)))
+    # A zero-length gap is explicitly legal: back-to-back windows.
+    spec = FaultSpec(outages=((0.1, 0.1), (0.2, 0.1)))
+    assert spec.outages == ((0.1, 0.1), (0.2, 0.1))
+
+
+def test_component_fault_spec_validation_and_roundtrip():
+    with pytest.raises(FaultConfigError, match="non-empty name"):
+        ComponentFaultSpec("")
+    with pytest.raises(FaultConfigError, match="choose from switch, uplink"):
+        ComponentFaultSpec("spine0", windows=((0.0, 1.0),), kind="router")
+    with pytest.raises(FaultConfigError, match="at least one"):
+        ComponentFaultSpec("spine0", windows=())
+    with pytest.raises(FaultConfigError, match="must not overlap"):
+        ComponentFaultSpec("spine0", windows=((0.0, 2.0), (1.0, 1.0)))
+    spec = ComponentFaultSpec("up3", windows=((1e-3, 2e-3),), kind="uplink")
+    assert ComponentFaultSpec.from_params(spec.to_json()) == spec
+    with pytest.raises(FaultConfigError, match="unknown component fault field"):
+        ComponentFaultSpec.from_params({"component": "up3", "mttr": 1.0})
+
+
+def test_fault_spec_rejects_duplicate_components():
+    with pytest.raises(FaultConfigError, match="duplicate component fault"):
+        FaultSpec(
+            components=(
+                ComponentFaultSpec("spine0", windows=((0.0, 1.0),)),
+                ComponentFaultSpec("spine0", windows=((2.0, 1.0),)),
+            )
+        )
+    # Same name under a different kind is a different component.
+    FaultSpec(
+        components=(
+            ComponentFaultSpec("x", windows=((0.0, 1.0),)),
+            ComponentFaultSpec("x", windows=((0.0, 1.0),), kind="uplink"),
+        )
+    )
+
+
+def test_fault_spec_component_params_roundtrip():
+    spec = FaultSpec(
+        seed=4,
+        detection_delay=1e-4,
+        components=(
+            ComponentFaultSpec("spine1", windows=((1e-3, 2e-3),)),
+            ComponentFaultSpec("up0", windows=((0.0, 1e-3),), kind="uplink"),
+        ),
+    )
+    assert spec.enabled
+    assert not spec.link_faults  # components are not link faults
+    assert FaultSpec.from_params(spec.to_params()) == spec
+    with pytest.raises(FaultConfigError, match="detection_delay"):
+        FaultSpec(detection_delay=-1.0)
+
+
+def test_outage_boundary_at_exact_serialization_instant():
+    """A window is half-open [start, start+dur): a frame handed to the
+    wire at exactly the outage start is dropped; one at exactly the
+    repair instant is delivered."""
+    fault = WireFault(FaultSpec(outages=((0.01, 0.02),)), "w")
+    f = Frame(MacAddress(0), MacAddress(1), payload_bytes=100)
+    assert fault.disposition(f, 0.01) == DROP
+    assert fault.disposition(f, 0.03) == DELIVER
+
+
+def test_back_to_back_outage_windows_leave_no_gap():
+    fault = WireFault(
+        FaultSpec(outages=((0.01, 0.01), (0.02, 0.01))), "w"
+    )
+    f = Frame(MacAddress(0), MacAddress(1), payload_bytes=100)
+    assert fault.disposition(f, 0.0199999) == DROP
+    assert fault.disposition(f, 0.02) == DROP  # the seam instant
+    assert fault.disposition(f, 0.0200001) == DROP
+    assert fault.disposition(f, 0.03) == DELIVER
+
+
+def test_outage_drop_accounting_matches_unbatched_runs():
+    """A coalesced train dropped in an outage counts frame_count frames
+    — identical totals to feeding the frames unbatched."""
+    spec = FaultSpec(outages=((0.0, 1.0),))
+    batched = WireFault(spec, "w")
+    train = Frame(
+        MacAddress(0), MacAddress(1), payload_bytes=1500, frame_count=3
+    )
+    assert batched.disposition(train, 0.5) == DROP
+    single = WireFault(spec, "w")
+    one = Frame(MacAddress(0), MacAddress(1), payload_bytes=1500)
+    for _ in range(3):
+        assert single.disposition(one, 0.5) == DROP
+    assert batched.frames_dropped == single.frames_dropped == 3
 
 
 def test_fault_plan_wire_pattern_and_resource_hooks():

@@ -1,13 +1,33 @@
 #!/usr/bin/env python
 """Compute-accelerator mode as a work farm (Section 2, mode 1 / the
-Tower-of-Power configuration the paper cites).
+Tower-of-Power configuration the paper cites) — written in the
+coroutine process style.
 
 A bag of independent streaming kernels (prefix sums over vectors) is
-distributed across the cluster.  The baseline computes on host CPUs;
-the ACC runs each item through its node's card — DMA in, streaming
-kernel, DMA out, one completion interrupt — leaving the hosts nearly
-idle for other work (the paper's point: "a separate path to host
-memory is configured to allow normal network operations").
+farmed over the cluster through a shared ``Store`` work queue: a feeder
+process enqueues item indices, one worker process per node pulls the
+next item as soon as it finishes its last (dynamic load balancing, not
+static round-robin).  The baseline computes on host CPUs; the ACC runs
+each item through its node's card — DMA in, streaming kernel, DMA out,
+one completion interrupt — leaving the hosts nearly idle for other work
+(the paper's point: "a separate path to host memory is configured to
+allow normal network operations").
+
+This example showcases the process API (``docs/processes.md``):
+
+* ``Experiment().process(name, fn)`` — the feeder is registered on the
+  builder and spawns automatically at ``build()``;
+* ``session.spawn(fn, ...)`` — the workers are spawned on the built
+  session;
+* ``await queue.get()`` / ``await queue.put(...)`` — awaitable Store
+  operations;
+* ``await card.compute(...)`` — awaiting a driver-level event;
+* ``drive(...)`` — reusing a generator helper (``cpu.busy``) from a
+  coroutine without spawning a child process.
+
+``examples/quickstart.py`` shows the same facade driving the original
+callback/generator style; the two styles run on the same kernel and can
+be mixed freely.
 
 Run:  python examples/compute_farm.py [--items 32] [--size 65536] [--procs 8]
 """
@@ -16,9 +36,72 @@ import argparse
 
 import numpy as np
 
-from repro.api import Experiment
-from repro.apps.compute import host_map, inic_map
+from repro.api import Experiment, drive
+from repro.core.design import compute_design
+from repro.hw.memory import AccessPattern
+from repro.inic.cores import ReduceCore
 from repro.units import fmt_time
+
+
+def run_farm(procs, items, kernel, use_card, flops_per_byte=48.0):
+    """Farm ``items`` over ``procs`` nodes; returns (results, session, makespan)."""
+    state = {}  # filled in after build(); read when process bodies start
+
+    async def feeder(session):
+        # Registered via Experiment().process(...): spawned at build(),
+        # body starts at session.run() — by then state["queue"] exists.
+        queue = state["queue"]
+        for i in range(len(items)):
+            await queue.put(i)
+        for _ in range(procs):
+            await queue.put(None)  # one shutdown pill per worker
+
+    exp = Experiment().nodes(procs).process("feeder", feeder)
+    if use_card:
+        exp = exp.card()
+    session = exp.build()
+
+    env = session.env
+    queue = env.store()
+    state["queue"] = queue
+    if use_card:
+        # advances the simulation (bitstream load time) — the feeder's
+        # body starts here, which is why the queue already exists
+        session.manager.configure_all(
+            lambda: compute_design([ReduceCore("sum")])
+        )
+    results = [None] * len(items)
+
+    async def worker(rank):
+        node = session.nodes[rank]
+        card = session.manager.driver(rank).card if use_card else None
+        while True:
+            i = await queue.get()
+            if i is None:
+                return
+            data = items[i]
+            if card is not None:
+                # the card does DMA-in, kernel, DMA-out and raises one
+                # completion interrupt; the event's value is the output
+                results[i] = await card.compute(
+                    data, kernel, in_bytes=data.nbytes, out_bytes=data.nbytes
+                )
+            else:
+                cost = node.cpu.task_time(
+                    flops=flops_per_byte * data.nbytes,
+                    nbytes=2 * data.nbytes,
+                    working_set=data.nbytes,
+                    pattern=AccessPattern.STREAM,
+                )
+                await drive(node.cpu.busy(cost))  # generator helper, no child process
+                results[i] = kernel(data)
+
+    for r in range(procs):
+        session.spawn(worker, r, name=f"worker{r}")
+
+    t0 = env.now
+    session.run()
+    return results, session, env.now - t0
 
 
 def main() -> None:
@@ -32,15 +115,16 @@ def main() -> None:
     items = [rng.standard_normal(args.size) for _ in range(args.items)]
     kernel = np.cumsum
 
-    host = Experiment().nodes(args.procs).build()
     # a compute-heavy streaming kernel class (~48 flops/byte, e.g.
     # multi-tap filtering) — the regime FPGA offload targets
-    host_out, host_res = host_map(host.cluster, kernel, items, flops_per_byte=48.0)
+    host_out, host, host_makespan = run_farm(
+        args.procs, items, kernel, use_card=False
+    )
     host_busy = sum(n.cpu.busy_time for n in host.nodes)
 
-    acc = Experiment().nodes(args.procs).card().build()
-    manager = acc.manager
-    inic_out, inic_res = inic_map(acc.cluster, manager, kernel, items)
+    inic_out, acc, inic_makespan = run_farm(
+        args.procs, items, kernel, use_card=True
+    )
     inic_busy = sum(n.cpu.busy_time for n in acc.nodes)
 
     for a, b in zip(host_out, inic_out):
@@ -48,12 +132,12 @@ def main() -> None:
 
     print(f"{args.items} prefix-sum kernels over {args.size}-element vectors, "
           f"{args.procs} nodes")
-    print(f"  host CPUs   : {fmt_time(host_res.makespan)} "
+    print(f"  host CPUs   : {fmt_time(host_makespan)} "
           f"(host busy {fmt_time(host_busy)})")
-    print(f"  INIC cards  : {fmt_time(inic_res.makespan)} "
+    print(f"  INIC cards  : {fmt_time(inic_makespan)} "
           f"(host busy {fmt_time(inic_busy)})")
-    print(f"  completion interrupts: {manager.total_completion_interrupts()} "
-          f"(one per item)")
+    print(f"  completion interrupts: "
+          f"{acc.manager.total_completion_interrupts()} (one per item)")
     print("results identical on both paths: OK")
 
 

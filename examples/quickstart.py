@@ -8,6 +8,13 @@ offloaded into the cards — with telemetry on, so the INIC run can show
 its hardware utilization.  Results are verified bit-for-bit against the
 local 2-D FFT.
 
+The applications driven here are written in the original
+generator/callback style (``yield ctx.send(...)`` state machines in
+``repro.apps``); ``examples/compute_farm.py`` shows the same facade
+driving coroutine processes (``async def`` + ``await``) — the two
+styles are event-for-event identical and freely mixable, see
+``docs/processes.md``.
+
 Run:  python examples/quickstart.py
 """
 

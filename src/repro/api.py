@@ -15,12 +15,16 @@ Everything an experiment script needs::
     print(session.report())
     session.export_trace("fig4b.trace.json")
 
-The legacy entry points (``build_acc``/``build_beowulf``) are re-exported
-for compatibility but emit :class:`DeprecationWarning`.
+Scenario logic is authored as coroutine processes — register them on
+the builder (``Experiment().process(name, fn)``), or spawn them on a
+built session (``session.spawn(fn, ...)`` / ``session.env``); see
+``docs/processes.md``.  The pre-facade ``build_acc``/``build_beowulf``
+wrappers have been removed after their deprecation cycle.
 """
 
 from .cluster.builder import ClusterSpec, NodeHardware, athlon_node
-from .core.api import Experiment, Session, build_acc, build_beowulf
+from .core.api import Experiment, Session
+from .sim.process import Environment, drive
 from .faults import ComponentFaultSpec, FaultSpec, robustness_counters
 from .faults.campaign import (
     CampaignSpec,
@@ -37,6 +41,7 @@ __all__ = [
     "CardSpec",
     "ClusterSpec",
     "ComponentFaultSpec",
+    "Environment",
     "Experiment",
     "FAST_ETHERNET",
     "FaultSpec",
@@ -47,9 +52,8 @@ __all__ = [
     "Session",
     "TCPConfig",
     "athlon_node",
-    "build_acc",
-    "build_beowulf",
     "campaign_fault_spec",
+    "drive",
     "fabric_components",
     "robustness_counters",
 ]

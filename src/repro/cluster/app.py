@@ -1,12 +1,16 @@
 """Parallel-application harness.
 
-Runs one generator program per rank inside a built cluster and collects
-per-rank results and the overall makespan — the quantity the paper's
-speedup plots are computed from.
+Runs one program per rank inside a built cluster and collects per-rank
+results and the overall makespan — the quantity the paper's speedup
+plots are computed from.  A rank program may be a generator function
+(``yield`` events) or an ``async`` function (``await`` events); the two
+styles drive the same process machinery and produce identical event
+schedules (see :mod:`repro.sim.process`).
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -43,10 +47,12 @@ class ParallelApp:
         rank_program: Callable[[RankContext], Any],
         max_events: Optional[int] = None,
     ) -> AppResult:
-        """Run ``rank_program(ctx)`` (a generator function) on every rank.
+        """Run ``rank_program(ctx)`` on every rank.
 
-        Returns per-rank results and the makespan.  May be called
-        repeatedly on the same cluster (phases accumulate on the clock).
+        ``rank_program`` is a generator function or an ``async``
+        function of one :class:`RankContext` argument.  Returns
+        per-rank results and the makespan.  May be called repeatedly on
+        the same cluster (phases accumulate on the clock).
         """
         sim = self.cluster.sim
         t0 = sim.now
@@ -54,10 +60,26 @@ class ParallelApp:
         times: list[float] = [0.0] * self.comm.size
 
         def wrap(ctx: RankContext):
-            value = yield from rank_program(ctx)
-            results[ctx.rank] = value
-            times[ctx.rank] = sim.now - t0
-            return value
+            # Creating the body runs no program code, so generator and
+            # coroutine ranks spawn with identical event/seq schedules.
+            body = rank_program(ctx)
+            if inspect.iscoroutine(body):
+
+                async def awrap():
+                    value = await body
+                    results[ctx.rank] = value
+                    times[ctx.rank] = sim.now - t0
+                    return value
+
+                return awrap()
+
+            def gwrap():
+                value = yield from body
+                results[ctx.rank] = value
+                times[ctx.rank] = sim.now - t0
+                return value
+
+            return gwrap()
 
         procs = [
             sim.process(wrap(ctx), name=f"rank{ctx.rank}") for ctx in self.comm

@@ -2,8 +2,11 @@
 
 The baseline applications (FFTW-style FFT, parallel sort) are written
 against this tiny MPI-flavoured interface, exactly as the paper's
-baselines run over MPI-on-TCP.  Each rank's code is a generator driven
-by the DES kernel; sends/recvs map onto the node's TCP stack.
+baselines run over MPI-on-TCP.  Each rank's code is a generator or
+coroutine driven by the DES kernel; sends/recvs return events, so both
+``yield ctx.send(...)`` and ``await ctx.send(...)`` work (generator
+helpers like ``ctx.compute`` are awaited via
+:func:`repro.sim.process.drive`).
 
 Self-sends never touch the network (MPI semantics); they pay a host
 memcpy through the memory hierarchy instead.

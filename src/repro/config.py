@@ -11,6 +11,11 @@ share field conventions — ``max_retries``, ``timeout``, ``seed`` — and a
   (the repo's own callers treat that as an error, see pyproject.toml);
 * :func:`config_to_json` / :func:`config_from_json` — recursive
   dataclass <-> plain-JSON-dict conversion with unknown-key rejection.
+
+:class:`~repro.errors.ConfigError` (re-exported here) roots the error
+family: domain-specific config errors such as
+:class:`~repro.errors.FaultConfigError` subclass it, so unknown-key
+rejection is catchable uniformly.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import dataclasses
 import warnings
 from typing import Any, Type, TypeVar
 
-from .errors import ReproError
+from .errors import ConfigError
 
 __all__ = [
     "ConfigError",
@@ -29,10 +34,6 @@ __all__ = [
 ]
 
 T = TypeVar("T")
-
-
-class ConfigError(ReproError):
-    """A malformed config document or unknown config field."""
 
 
 def renamed_kwargs(**old_to_new: str):

@@ -1,6 +1,6 @@
 """The offload framework: modes, designs, driver, manager, facade."""
 
-from .api import Experiment, Session, build_acc, build_beowulf
+from .api import Experiment, Session
 from .design import (
     collective_design,
     compute_design,
@@ -20,8 +20,6 @@ __all__ = [
     "INICManager",
     "Mode",
     "Session",
-    "build_acc",
-    "build_beowulf",
     "collective_design",
     "compute_design",
     "datatype_design",

@@ -17,24 +17,40 @@ branched::
 
 ``build()`` wires the cluster (and, for INIC experiments, the
 :class:`~repro.core.manager.INICManager`), instruments every component
-when telemetry is enabled, and returns a :class:`Session` that owns the
-run loop and the telemetry queries (``metrics()``, ``timeline()``,
-``export_trace()``, ``report()``).
+when telemetry is enabled, starts any processes registered with
+``Experiment().process(name, fn)``, and returns a :class:`Session` that
+owns the run loop, process spawning (``spawn()``, ``env``), and the
+telemetry queries (``metrics()``, ``timeline()``, ``export_trace()``,
+``report()``).
 
-The legacy ``build_acc``/``build_beowulf`` helpers remain as thin
-deprecated wrappers.
+Scenario logic is authored as coroutine (or generator) processes — see
+:mod:`repro.sim.process` and ``docs/processes.md``::
+
+    async def traffic(session):
+        env = session.env
+        while True:
+            await env.sleep(1e-3)
+            ...
+
+    session = Experiment().nodes(8).process("traffic", traffic).build()
+    session.run()
+
+The deprecated ``build_acc``/``build_beowulf`` wrappers from the
+pre-facade API have been removed; use the builder chains shown above
+(``Experiment().nodes(n).card(...).build()`` for an INIC cluster,
+``Experiment().nodes(n).build()`` for the TCP baseline).
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..cluster.builder import Cluster, ClusterSpec, NodeHardware
 from ..faults import FaultSpec
 from ..inic.card import CardSpec, IDEAL_INIC
-from ..net.fabric import GIGABIT_ETHERNET, NetworkTechnology
+from ..net.fabric import NetworkTechnology
 from ..protocols.tcp import TCPConfig
+from ..sim.process import Environment
 from ..telemetry import (
     MetricsRegistry,
     NULL_REGISTRY,
@@ -49,7 +65,7 @@ from ..telemetry.report import (
 )
 from .manager import INICManager
 
-__all__ = ["Experiment", "Session", "build_acc", "build_beowulf"]
+__all__ = ["Experiment", "Session"]
 
 
 class Session:
@@ -67,6 +83,12 @@ class Session:
         #: the metrics registry (:data:`~repro.telemetry.NULL_REGISTRY`
         #: when telemetry is disabled)
         self.registry = registry
+        #: process-API view of the cluster's simulator
+        #: (:class:`repro.sim.process.Environment`)
+        self.env = Environment(cluster.sim)
+        #: processes started via :meth:`spawn` or
+        #: :meth:`Experiment.process`, by name
+        self.processes: dict[str, Any] = {}
 
     # -- run ---------------------------------------------------------------
     @property
@@ -88,6 +110,27 @@ class Session:
     def run(self, until=None, max_events=None):
         """Advance the simulation (delegates to the cluster)."""
         return self.cluster.run(until=until, max_events=max_events)
+
+    def spawn(self, fn: Callable[..., Any], *args, name: str = "", **kwargs):
+        """Start a coroutine (or generator) process on this session.
+
+        ``fn`` is an ``async def`` or generator function; it is called
+        with ``(*args, **kwargs)`` and the resulting body is scheduled
+        as a :class:`~repro.sim.engine.Process`::
+
+            async def traffic(session, period):
+                while True:
+                    await session.env.sleep(period)
+                    ...
+
+            proc = session.spawn(traffic, session, 1e-3, name="traffic")
+
+        Returns the process; it is also recorded in
+        :attr:`processes` under its name.
+        """
+        proc = self.env.process(fn, *args, name=name, **kwargs)
+        self.processes[proc.name] = proc
+        return proc
 
     # -- telemetry queries -------------------------------------------------
     def metrics(self) -> dict[str, float]:
@@ -129,18 +172,23 @@ class Experiment:
     """
 
     def __init__(
-        self, spec: Optional[ClusterSpec] = None, telemetry: bool = False
+        self,
+        spec: Optional[ClusterSpec] = None,
+        telemetry: bool = False,
+        processes: tuple = (),
     ):
         self._spec = spec if spec is not None else ClusterSpec(n_nodes=1)
         self._telemetry = telemetry
+        self._processes = processes
 
     # -- builder steps (each returns a new Experiment) ---------------------
     def _with(self, **changes) -> "Experiment":
         spec = self._spec
         telemetry = changes.pop("telemetry", self._telemetry)
+        processes = changes.pop("processes", self._processes)
         if changes:
             spec = spec.replace(**changes)
-        return Experiment(spec, telemetry)
+        return Experiment(spec, telemetry, processes)
 
     def nodes(self, n: int) -> "Experiment":
         """Cluster size."""
@@ -189,6 +237,35 @@ class Experiment:
         """Instrument every component at build time."""
         return self._with(telemetry=enabled)
 
+    def process(self, name: str, fn: Callable[["Session"], Any]) -> "Experiment":
+        """Register a named process to spawn when the session is built.
+
+        ``fn`` is an ``async def`` or generator function of one
+        argument — the built :class:`Session`::
+
+            async def traffic(session):
+                while True:
+                    await session.env.sleep(1e-3)
+                    ...
+
+            session = Experiment().nodes(8).process("traffic", traffic).build()
+
+        Registered processes spawn in registration order at ``build()``
+        time (before any event runs), so registration order — like
+        every builder step — is part of the experiment's deterministic
+        identity.  Registering a second process under the same name
+        replaces the first (in its original position).
+        """
+        entries = tuple(e for e in self._processes if e[0] != name)
+        replaced = len(entries) != len(self._processes)
+        if replaced:
+            entries = tuple(
+                (name, fn) if e[0] == name else e for e in self._processes
+            )
+        else:
+            entries = self._processes + ((name, fn),)
+        return self._with(processes=entries)
+
     # -- inspection --------------------------------------------------------
     @property
     def spec(self) -> ClusterSpec:
@@ -201,58 +278,21 @@ class Experiment:
 
     # -- terminal ----------------------------------------------------------
     def build(self) -> Session:
-        """Build and wire the cluster; returns a ready :class:`Session`."""
+        """Build and wire the cluster; returns a ready :class:`Session`.
+
+        Processes registered via :meth:`process` are spawned (in
+        registration order) on the fresh session before it is returned;
+        nothing executes until ``session.run()``.
+        """
         cluster = Cluster.build(self._spec)
         manager = INICManager(cluster) if self._spec.inic is not None else None
         registry = MetricsRegistry() if self._telemetry else NULL_REGISTRY
         if registry.enabled:
             instrument_cluster(registry, cluster, manager)
-        return Session(cluster, manager, registry)
+        session = Session(cluster, manager, registry)
+        for name, fn in self._processes:
+            session.spawn(fn, session, name=name)
+        return session
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Experiment {self._spec!r} telemetry={self._telemetry}>"
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def build_acc(
-    n_nodes: int,
-    card: CardSpec = IDEAL_INIC,
-    network: NetworkTechnology = GIGABIT_ETHERNET,
-    seed: int = 0x5EED,
-    faults: Optional[FaultSpec] = None,
-) -> tuple[Cluster, INICManager]:
-    """Deprecated: use ``Experiment().nodes(n).card(spec).build()``."""
-    _deprecated(
-        "build_acc()", "repro.api.Experiment().nodes(n).card(...).build()"
-    )
-    session = (
-        Experiment()
-        .nodes(n_nodes)
-        .card(card)
-        .network(network)
-        .seed(seed)
-        .faults(faults)
-        .build()
-    )
-    return session.cluster, session.manager
-
-
-def build_beowulf(
-    n_nodes: int,
-    network: NetworkTechnology = GIGABIT_ETHERNET,
-    seed: int = 0x5EED,
-    faults: Optional[FaultSpec] = None,
-) -> Cluster:
-    """Deprecated: use ``Experiment().nodes(n).build()``."""
-    _deprecated("build_beowulf()", "repro.api.Experiment().nodes(n).build()")
-    session = (
-        Experiment().nodes(n_nodes).network(network).seed(seed).faults(faults).build()
-    )
-    return session.cluster

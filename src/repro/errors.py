@@ -107,8 +107,20 @@ class OffloadError(INICError):
     """Runtime failure in an offloaded operation."""
 
 
+# --- configuration documents ---------------------------------------------------
+class ConfigError(ReproError):
+    """A malformed config document or unknown config field.
+
+    The root of the config-convention hierarchy: every
+    ``to_json``/``from_json`` surface (protocol configs,
+    ``BatchPolicy``, fault and campaign specs) rejects unknown keys
+    with a :class:`ConfigError` subclass, so callers can catch the
+    whole family here.
+    """
+
+
 # --- fault injection -----------------------------------------------------------
-class FaultConfigError(ReproError):
+class FaultConfigError(ConfigError):
     """Invalid fault-injection specification (bad rate, window, scale)."""
 
 

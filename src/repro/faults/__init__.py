@@ -27,7 +27,7 @@ Design rules
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import dataclass, field, fields
 from fnmatch import fnmatch
 from typing import Optional, TYPE_CHECKING
 
@@ -167,11 +167,10 @@ class ComponentFaultSpec:
 
     # -- serialization -----------------------------------------------------
     def to_json(self) -> dict:
-        return {
-            "component": self.component,
-            "windows": [list(w) for w in self.windows],
-            "kind": self.kind,
-        }
+        """JSON-safe dict (round-trips through :meth:`from_json`)."""
+        from ..config import config_to_json
+
+        return config_to_json(self)
 
     @classmethod
     def from_params(cls, doc: dict) -> "ComponentFaultSpec":
@@ -313,10 +312,9 @@ class FaultSpec:
         specs to preserve sweep-cache identity — this always emits the
         full document, matching the other configs' ``to_json``.
         """
-        doc = asdict(self)
-        doc["outages"] = [list(o) for o in self.outages]
-        doc["components"] = [c.to_json() for c in self.components]
-        return doc
+        from ..config import config_to_json
+
+        return config_to_json(self)
 
     @classmethod
     def from_json(cls, doc: dict) -> "FaultSpec":

@@ -25,11 +25,12 @@ non-negative counters).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
+from ..config import ConfigError, config_from_json, config_to_json
 from ..errors import FaultConfigError
 from ..sim.rand import derive_seed
 from . import ComponentFaultSpec, FaultSpec
@@ -95,18 +96,17 @@ class CampaignSpec:
             )
 
     def to_json(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """JSON-safe dict (round-trips through :meth:`from_json`)."""
+        return config_to_json(self)
 
     @classmethod
     def from_json(cls, doc: dict) -> "CampaignSpec":
-        known = {f.name for f in fields(cls)}
-        unknown = set(doc) - known
-        if unknown:
-            raise FaultConfigError(
-                f"unknown campaign fields {sorted(unknown)} "
-                f"(choose from {', '.join(sorted(known))})"
-            )
-        return cls(**doc)
+        try:
+            return config_from_json(cls, doc)
+        except FaultConfigError:
+            raise  # field validation from __post_init__ passes through
+        except ConfigError as exc:
+            raise FaultConfigError(str(exc)) from None
 
 
 def realize(

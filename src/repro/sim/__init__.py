@@ -4,6 +4,7 @@ Public surface::
 
     from repro.sim import Simulator, Timeout, Resource, Store, Container
     from repro.sim import FCFSBus, FairShareBus, TraceRecorder, RandomStreams
+    from repro.sim import Environment, drive   # coroutine process API
 """
 
 from .engine import (
@@ -19,6 +20,7 @@ from .engine import (
     set_trace_sink,
 )
 from .bus import BusStats, FCFSBus, FairShareBus
+from .process import Environment, drive
 from .rand import RandomStreams
 from .resources import Container, Request, Resource, Store
 from .sched import (
@@ -38,6 +40,7 @@ __all__ = [
     "CalendarQueue",
     "CalendarScheduler",
     "Container",
+    "Environment",
     "Event",
     "FCFSBus",
     "FairShareBus",
@@ -56,6 +59,7 @@ __all__ = [
     "Timeout",
     "TraceRecorder",
     "URGENT",
+    "drive",
     "make_scheduler",
     "merge_intervals",
     "set_trace_sink",

@@ -18,6 +18,13 @@ Both support a fixed per-transaction arbitration latency and expose
 utilization statistics.  The fair-share bus recomputes completion times
 whenever the set of active transfers changes — an event-driven
 implementation of generalized processor sharing.
+
+``transfer()`` returns the completion :class:`~repro.sim.engine.Event`,
+which is directly awaitable from a coroutine process (``await
+bus.transfer(n)``) and yieldable from a generator one — the same single
+schedule entry either way.  ``transfer_proc`` remains the ``yield
+from`` helper for generator bodies that want the byte count returned
+(coroutines get it as the event's value).
 """
 
 from __future__ import annotations
@@ -97,7 +104,9 @@ class FCFSBus:
         """Move ``nbytes`` across the bus; event fires on completion.
 
         Queueing is implicit: a transfer issued while the bus is busy
-        starts when the bus frees up (FIFO order by issue time).
+        starts when the bus frees up (FIFO order by issue time).  The
+        returned event is awaitable (``await bus.transfer(n)``) as well
+        as yieldable; its value is the byte count.
         """
         if nbytes <= 0:
             raise BusError(f"bus transfer of {nbytes} bytes on {self.name!r}")

@@ -19,11 +19,16 @@ Concepts
     An event that triggers after a fixed delay.
 
 ``Process``
-    Wraps a generator.  Each ``yield`` suspends the process until the
-    yielded event fires; the event's value is sent back into the
-    generator (or its exception thrown in).  A ``Process`` is itself an
-    event that triggers when the generator returns, making process
-    composition (``yield self.sim.process(child())``) natural.
+    Wraps a generator **or a coroutine**.  Each ``yield`` (or ``await``)
+    suspends the process until the yielded event fires; the event's
+    value is sent back into the body (or its exception thrown in).  A
+    ``Process`` is itself an event that triggers when the body returns,
+    making process composition (``yield self.sim.process(child())`` /
+    ``await self.sim.process(child())``) natural.  Both styles drive the
+    exact same resume loop: an ``await``-authored process produces the
+    identical ``(time, priority, seq)`` event stream as its
+    ``yield``-authored twin (see :mod:`repro.sim.process` and
+    ``python -m repro.sim --ab-process``).
 
 ``AnyOf`` / ``AllOf``
     Composite conditions over several events.
@@ -201,6 +206,17 @@ class Event:
         """Withdraw a scheduled-but-unprocessed event; see ``Simulator.cancel``."""
         return self.sim.cancel(self)
 
+    def __await__(self):
+        """Awaitable protocol: ``await event`` inside a coroutine process.
+
+        Yields the event itself to the driving :class:`Process` — the
+        same object a generator process would ``yield`` — so an
+        ``await``-style body suspends, resumes, and orders its events
+        identically to the generator style.  The value the process
+        driver sends back becomes the value of the ``await`` expression.
+        """
+        return (yield self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
             "processed" if self.processed else "triggered" if self.triggered else "pending"
@@ -273,18 +289,22 @@ class Initialize(Event):
 
 
 class Process(Event):
-    """A running simulated activity wrapping a generator.
+    """A running simulated activity wrapping a generator or coroutine.
 
     The process is itself an :class:`Event` that triggers with the
-    generator's return value when it finishes (or fails with its
-    uncaught exception).
+    body's return value when it finishes (or fails with its uncaught
+    exception).  Generators yield events; coroutines ``await`` them
+    (via :meth:`Event.__await__`) — the driver below is shared, so the
+    two styles are event-for-event identical.
     """
 
     __slots__ = ("_generator", "_target", "is_alive")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
-            raise ProcessError(f"process body must be a generator, got {generator!r}")
+            raise ProcessError(
+                f"process body must be a generator or coroutine, got {generator!r}"
+            )
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         #: the event this process is currently waiting on (None if running)
@@ -301,8 +321,13 @@ class Process(Event):
         if not self.is_alive:
             raise ProcessError(f"cannot interrupt finished process {self.name!r}")
         if self._target is None:
+            if self.sim._active_process is self:
+                raise ProcessError(
+                    f"process {self.name!r} cannot interrupt itself"
+                )
             raise ProcessError(
-                f"cannot interrupt process {self.name!r} from within itself"
+                f"cannot interrupt process {self.name!r} before its first "
+                f"suspension (it has not started yet)"
             )
         # Detach from the awaited event and resume with the interrupt at
         # the current time, ahead of same-time ordinary events.
@@ -341,7 +366,8 @@ class Process(Event):
 
                 if not isinstance(target, Event):
                     exc = ProcessError(
-                        f"process {self.name!r} yielded non-event {target!r}"
+                        f"process {self.name!r} yielded/awaited non-event "
+                        f"{target!r}"
                     )
                     self.is_alive = False
                     self._target = None

@@ -16,7 +16,14 @@ These are the queueing building blocks the hardware models are made of:
     for buffer-space accounting (switch output buffers, INIC memory).
 
 All waiting is expressed as events, so processes compose them with
-timeouts via :class:`~repro.sim.engine.AnyOf`.
+timeouts via :class:`~repro.sim.engine.AnyOf` — and, since every event
+is awaitable (:meth:`~repro.sim.engine.Event.__await__`), a coroutine
+process simply writes ``item = await store.get()`` / ``await
+store.put(item)``; the inline fast paths below are shared by both
+styles.  A process interrupted while one of these operations is still
+pending should withdraw it with ``store.cancel(op)`` /
+``container.cancel(op)`` so the queue never hands a value to a waiter
+that stopped listening (see ``docs/processes.md``).
 """
 
 from __future__ import annotations
@@ -246,6 +253,28 @@ class Store:
             return True, item
         return False, None
 
+    def cancel(self, op: Event) -> bool:
+        """Withdraw a still-pending ``get``/``put`` operation.
+
+        The interrupt-recovery primitive: a process thrown an
+        :class:`~repro.errors.Interrupt` while waiting on a store
+        operation is detached from the event, but the operation itself
+        stays queued — without this call a later item would be handed
+        to (or space reserved for) a waiter that no longer listens.
+        Returns ``True`` if the operation was found and withdrawn,
+        ``False`` if it already completed (or was never pending here).
+        A cancelled put's item is not admitted.
+        """
+        if op.triggered:
+            return False
+        for queue in (self._getters, self._putters):
+            try:
+                queue.remove(op)
+                return True
+            except ValueError:
+                continue
+        return False
+
     def _admit(self, ev: _StorePut) -> None:
         if self._getters:
             # Hand directly to the oldest waiting getter.
@@ -338,6 +367,23 @@ class Container:
         """Non-blocking get; only succeeds if no getter is already waiting."""
         if not self._getters and self._level >= amount:
             self._set_level(self._level - amount)
+            self._dispatch()
+            return True
+        return False
+
+    def cancel(self, op: Event) -> bool:
+        """Withdraw a still-pending ``get``/``put`` (see ``Store.cancel``).
+
+        Removing a blocking head operation can unblock the queue behind
+        it, so the dispatch loop reruns after a successful withdrawal.
+        """
+        if op.triggered:
+            return False
+        for queue in (self._getters, self._putters):
+            try:
+                queue.remove(op)
+            except ValueError:
+                continue
             self._dispatch()
             return True
         return False

@@ -1,11 +1,12 @@
 """Tests for the ``repro.api`` experiment facade and config conventions.
 
 Covers the builder's order-independence (and the matching
-``ClusterSpec.with_*`` chaining regression), the deprecated
-``build_acc``/``build_beowulf`` wrappers, the repo-wide config naming
-normalization (``max_retries`` / ``timeout`` / ``seed``; old kwargs
-accepted with ``DeprecationWarning``), and the shared
-``to_json``/``from_json`` round-trip convention.
+``ClusterSpec.with_*`` chaining regression), the process registration
+surface (``Experiment().process`` / ``Session.spawn`` / ``Session.env``),
+the removal of the deprecated ``build_acc``/``build_beowulf`` wrappers,
+the repo-wide config naming normalization (``max_retries`` / ``timeout``
+/ ``seed``; old kwargs accepted with ``DeprecationWarning``), and the
+shared ``to_json``/``from_json`` round-trip convention.
 """
 
 import numpy as np
@@ -19,8 +20,6 @@ from repro.api import (
     FaultSpec,
     IDEAL_INIC,
     Session,
-    build_acc,
-    build_beowulf,
 )
 from repro.config import ConfigError
 from repro.core.manager import INICManager
@@ -80,35 +79,82 @@ def test_build_wires_manager_only_for_inic_clusters():
     assert acc.nodes[0].inic is not None
 
 
-# -- deprecated wrappers -----------------------------------------------------------
-def test_build_acc_warns_but_still_works():
-    with pytest.warns(DeprecationWarning, match="build_acc"):
-        cluster, manager = build_acc(2)
-    assert isinstance(manager, INICManager)
-    assert len(cluster.nodes) == 2
-    # same cluster the facade would build
-    session = Experiment().nodes(2).card().build()
-    assert cluster.spec == session.cluster.spec
+# -- deprecated wrappers are gone --------------------------------------------------
+def test_legacy_wrappers_removed():
+    # PR-4 deprecated build_acc/build_beowulf; this PR completes the cycle.
+    import repro.api
+    import repro.core
+    import repro.core.api
+
+    for mod in (repro.api, repro.core, repro.core.api):
+        assert not hasattr(mod, "build_acc")
+        assert not hasattr(mod, "build_beowulf")
+        assert "build_acc" not in mod.__all__
+        assert "build_beowulf" not in mod.__all__
 
 
-def test_build_beowulf_warns_but_still_works():
-    with pytest.warns(DeprecationWarning, match="build_beowulf"):
-        cluster = build_beowulf(2, network=FAST_ETHERNET)
-    assert len(cluster.nodes) == 2
-    assert cluster.nodes[0].inic is None
-    assert cluster.spec == Experiment().nodes(2).network(FAST_ETHERNET).spec
-
-
-def test_facade_run_matches_legacy_wrapper():
+def test_facade_is_deterministic_across_builds():
     from repro.apps.fft import baseline_fft2d
 
     g = np.random.default_rng(2)
     m = g.standard_normal((16, 16)) + 1j * g.standard_normal((16, 16))
-    _, new_res = baseline_fft2d(Experiment().nodes(2).build().cluster, m)
-    with pytest.warns(DeprecationWarning):
-        legacy = build_beowulf(2)
-    _, old_res = baseline_fft2d(legacy, m)
-    assert new_res.makespan == old_res.makespan
+    _, res_a = baseline_fft2d(Experiment().nodes(2).build().cluster, m)
+    _, res_b = baseline_fft2d(Experiment().nodes(2).build().cluster, m)
+    assert res_a.makespan == res_b.makespan
+
+
+# -- process registration ----------------------------------------------------------
+def test_experiment_process_spawns_at_build():
+    log = []
+
+    async def ticker(session):
+        for _ in range(3):
+            await session.env.sleep(1e-3)
+            log.append(session.env.now)
+
+    session = Experiment().nodes(2).process("ticker", ticker).build()
+    assert "ticker" in session.processes
+    assert not log  # nothing runs until session.run()
+    session.run(until=1.0)
+    assert log == [1e-3, 2e-3, 3e-3]
+
+
+def test_experiment_process_is_immutable_and_replaces_by_name():
+    async def a(session):
+        return "a"
+
+    async def b(session):
+        return "b"
+
+    base = Experiment().nodes(1)
+    with_a = base.process("job", a)
+    with_b = with_a.process("job", b)
+    assert base._processes == ()
+    assert with_a._processes == (("job", a),)
+    assert with_b._processes == (("job", b),)
+    session = with_b.build()
+    session.run()
+    assert session.processes["job"].value == "b"
+
+
+def test_session_spawn_generator_and_coroutine():
+    session = Experiment().nodes(1).build()
+
+    def gen_job(env, n):
+        yield env.timeout(n * 1e-6)
+        return n
+
+    async def coro_job(env, n):
+        await env.timeout(n * 1e-6)
+        return n * 10
+
+    p1 = session.spawn(gen_job, session.env, 3, name="gen")
+    p2 = session.spawn(coro_job, session.env, 3, name="coro")
+    session.run()
+    assert p1.value == 3
+    assert p2.value == 30
+    assert session.processes == {"gen": p1, "coro": p2}
+    assert session.env.sim is session.sim
 
 
 # -- renamed config kwargs ---------------------------------------------------------
@@ -155,6 +201,21 @@ def test_config_from_json_rejects_unknown_keys():
         BatchPolicy.from_json({"enabled": True, "warp_factor": 9})
     with pytest.raises(FaultConfigError):
         FaultSpec.from_json({"seed": 1, "warp_factor": 9})
+
+
+def test_config_error_roots_the_family():
+    # FaultConfigError (and therefore every campaign/fault rejection)
+    # is catchable as the shared ConfigError.
+    assert issubclass(FaultConfigError, ConfigError)
+    from repro.errors import ConfigError as RootConfigError
+
+    assert ConfigError is RootConfigError
+    from repro.faults.campaign import CampaignSpec
+
+    spec = CampaignSpec(seed=3, horizon=0.02)
+    assert CampaignSpec.from_json(spec.to_json()) == spec
+    with pytest.raises(ConfigError):
+        CampaignSpec.from_json({"seed": 1, "warp_factor": 9})
 
 
 def test_fault_spec_to_json_is_total_unlike_to_params():

@@ -45,7 +45,7 @@ def test_campaign_spec_validates_fields_loudly():
 def test_campaign_spec_json_roundtrip_rejects_unknown_fields():
     spec = CampaignSpec(seed=7, horizon=5e-3, max_failures=2)
     assert CampaignSpec.from_json(spec.to_json()) == spec
-    with pytest.raises(FaultConfigError, match="unknown campaign fields"):
+    with pytest.raises(FaultConfigError, match="unknown config fields"):
         CampaignSpec.from_json({"seed": 1, "blast_radius": 3})
 
 

@@ -81,7 +81,7 @@ def test_all_factories_validate():
 
 
 # --- builders / manager ----------------------------------------------------------------
-def test_build_acc_and_configure_all():
+def test_build_inic_cluster_and_configure_all():
     cluster, manager = _acc(4)
     dt = manager.configure_all(fft_transpose_design)
     assert dt == pytest.approx(cluster.nodes[0].require_inic().fabric.config_time)

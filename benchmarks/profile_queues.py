@@ -21,6 +21,14 @@ process, not a fixture sandwich) with three modes::
         the hot-path flattening work: once the queue is native, the
         remaining time is the run loop and the protocol models.
 
+    python benchmarks/profile_queues.py --fabric fattree --p 64
+        cProfile one scale-suite INIC exchange point on the given
+        fabric kind.  Pass --no-fastpath to profile the frame-level
+        admission path instead of the bulk flow clock
+        (repro.net.flowclock) — diffing the two profiles shows what
+        the fast path removed (per-chunk egress events, per-frame
+        admission) and what remains (host compute, bulk rx).
+
 Run from the repository root; ``src/`` is bootstrapped onto ``sys.path``
 so no install step is needed.
 """
@@ -101,6 +109,34 @@ def profile_suite(kind: str, scale: str, top: int) -> int:
     return 0
 
 
+def profile_fabric(
+    fabric: str, p: int, app: str, fastpath: bool, top: int
+) -> int:
+    """cProfile one scale-suite INIC exchange point on ``fabric``."""
+    from repro.bench.harness import Scale
+    from repro.bench.sweep import _RUNNERS, scale_points
+
+    infix = "" if fabric == "aggregate" else f"{fabric}-"
+    name = f"scale-{app}-inic-{infix}p{p}"
+    specs = {
+        s.name: s
+        for s in scale_points(Scale.by_name("large"), fastpath=fastpath)
+    }
+    spec = specs.get(name)
+    if spec is None:
+        candidates = ", ".join(k for k in sorted(specs) if "-inic-" in k)
+        print(f"no scale point {name!r}; have: {candidates}")
+        return 2
+    mode = "bulk flow-clock" if fastpath else "frame-level"
+    print(f"profiling {name} ({mode} admission)")
+    prof = cProfile.Profile()
+    prof.enable()
+    _RUNNERS[spec.kind](spec.params)
+    prof.disable()
+    pstats.Stats(prof).sort_stats("cumulative").print_stats(top)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     mode = parser.add_mutually_exclusive_group()
@@ -112,9 +148,26 @@ def main(argv=None) -> int:
         "--suite", metavar="KIND", choices=list(SCHEDULER_KINDS),
         help="cProfile the ci perf suite under a scheduler kind",
     )
+    mode.add_argument(
+        "--fabric", choices=["aggregate", "fattree", "torus"],
+        help="cProfile one scale-suite INIC exchange point on this fabric",
+    )
     parser.add_argument("--n", type=int, default=100_000)
     parser.add_argument("--seed", type=int, default=0x5EED)
     parser.add_argument("--scale", default="ci", choices=["ci", "bench", "paper"])
+    parser.add_argument(
+        "--p", type=int, default=64,
+        help="(--fabric) node count of the profiled scale point",
+    )
+    parser.add_argument(
+        "--app", default="sort", choices=["sort", "fft"],
+        help="(--fabric) which exchange workload to profile",
+    )
+    parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="(--fabric) profile frame-level admission instead of the "
+        "bulk flow clock",
+    )
     parser.add_argument(
         "--top", type=int, default=15, help="profile rows to print"
     )
@@ -128,6 +181,10 @@ def main(argv=None) -> int:
         return profile_cell(kind, mix, args.n, args.seed, args.top)
     if args.suite:
         return profile_suite(args.suite, args.scale, args.top)
+    if args.fabric:
+        return profile_fabric(
+            args.fabric, args.p, args.app, not args.no_fastpath, args.top
+        )
     return compare(args.n, args.seed)
 
 

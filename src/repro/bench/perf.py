@@ -81,10 +81,31 @@ def run_suite(
     return build_report(results, scale.name, engine)
 
 
+#: per-scenario fields derived from the measuring host's wall clock —
+#: never part of any regression gate, and stripped outright from rows
+#: tagged ``wall_cached`` (their wall was measured by whichever host
+#: populated the cache, so even a human reading a diff must not treat
+#: it as this machine's number)
+WALL_DERIVED = frozenset({"wall_seconds", "events_per_sec"})
+
+
+def _gateable(row: dict[str, Any]) -> dict[str, Any]:
+    """The comparable view of a scenario row: wall-derived fields are
+    dropped whenever the row's wall came out of the cache."""
+    if not row.get("wall_cached"):
+        return row
+    return {k: v for k, v in row.items() if k not in WALL_DERIVED}
+
+
 def compare(
     current: dict[str, Any], reference: dict[str, Any], tolerance: float
 ) -> list[str]:
-    """Regression report: list of failures (empty means pass)."""
+    """Regression report: list of failures (empty means pass).
+
+    Only machine-independent fields are gated (event counts); rows are
+    passed through :func:`_gateable` first, so wall-derived fields of
+    cached rows are structurally invisible to every check here.
+    """
     failures = []
     if current.get("scale") != reference.get("scale"):
         failures.append(
@@ -92,8 +113,8 @@ def compare(
             f"{reference.get('scale')!r}"
         )
         return failures
-    ref = reference["scenarios"]
-    cur = current["scenarios"]
+    ref = {k: _gateable(v) for k, v in reference["scenarios"].items()}
+    cur = {k: _gateable(v) for k, v in current["scenarios"].items()}
     for name, r in ref.items():
         c = cur.get(name)
         if c is None:

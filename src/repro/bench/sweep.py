@@ -372,6 +372,8 @@ def _point_session(n: int, p: dict, card=None, network=None, faults=None):
         # topology options ride in the params as a JSON object, e.g.
         # {"fabric": "fattree", "fabric_options": {"oversub": 2}}
         exp = exp.fabric(fabric, **(p.get("fabric_options") or {}))
+    if p.get("fastpath"):
+        exp = exp.fastpath(True)
     return exp.telemetry(bool(p.get("telemetry"))).build()
 
 
@@ -388,6 +390,11 @@ def _point_value(session, res, **extra) -> dict:
     hop_stats = getattr(session.cluster.switch, "hop_stats", None)
     if hop_stats is not None:
         out["hops"] = hop_stats()
+    # fast-path engagement counter: trains bulk-admitted by the fabric's
+    # flow clock (absent from legacy payloads and frame-level runs)
+    trains = getattr(session.cluster.switch, "trains_fast", 0)
+    if trains:
+        out["trains_fast"] = trains
     out.update(extra)
     if session.telemetry_enabled:
         out["metrics"] = session.metrics()
@@ -838,6 +845,7 @@ def scale_points(
     scale,
     max_p: Optional[int] = None,
     fabrics: Optional[Iterable[str]] = None,
+    fastpath: bool = True,
 ) -> list[PointSpec]:
     """The scale-out suite: FFT and integer sort at ``Scale.large``'s
     32-128 nodes, TCP/GigE baseline vs prototype INIC, both on the
@@ -859,15 +867,22 @@ def scale_points(
     p=32) and ``fabrics`` selects fabric kinds (the CI matrix runs one
     kind per job) — neither changes any point's identity, so the full
     suite, the smoke job, and the matrix legs all share cache entries.
+    ``fastpath`` (the default; ``--no-fastpath`` clears it) opts the
+    INIC points into bulk flow-clock admission
+    (:mod:`repro.net.flowclock`) — it rides in the params, so fast-path
+    and frame-level runs occupy distinct cache entries.
     """
     fabric_set = None if fabrics is None else set(fabrics)
 
     def want(fabric: str) -> bool:
         return fabric_set is None or fabric in fabric_set
 
+    inic: dict[str, Any] = {"card": "aceii-prototype"}
+    if fastpath:
+        inic["fastpath"] = True
     specs = []
     if not want("aggregate"):
-        return _topology_points(scale, max_p, want)
+        return _topology_points(scale, max_p, want, inic)
     for p in scale.sort_procs:
         if scale.sort_keys % p or (max_p is not None and p > max_p):
             continue
@@ -881,11 +896,7 @@ def scale_points(
             PointSpec("sort-des", f"scale-sort-gige-p{p}", {**base, "card": None})
         )
         specs.append(
-            PointSpec(
-                "sort-des",
-                f"scale-sort-inic-p{p}",
-                {**base, "card": "aceii-prototype"},
-            )
+            PointSpec("sort-des", f"scale-sort-inic-p{p}", {**base, **inic})
         )
     rows = scale.fft_sizes[-1]
     for p in scale.fft_procs:
@@ -902,16 +913,12 @@ def scale_points(
             PointSpec("fft-des", f"scale-fft-gige-p{p}", {**base, "card": None})
         )
         specs.append(
-            PointSpec(
-                "fft-des",
-                f"scale-fft-inic-p{p}",
-                {**base, "card": "aceii-prototype"},
-            )
+            PointSpec("fft-des", f"scale-fft-inic-p{p}", {**base, **inic})
         )
-    return specs + _topology_points(scale, max_p, want)
+    return specs + _topology_points(scale, max_p, want, inic)
 
 
-def _topology_points(scale, max_p, want) -> list[PointSpec]:
+def _topology_points(scale, max_p, want, inic: dict) -> list[PointSpec]:
     """The hierarchical-fabric axis of the scale suite (see
     :func:`scale_points` for the point-selection rationale)."""
     specs = []
@@ -937,7 +944,7 @@ def _topology_points(scale, max_p, want) -> list[PointSpec]:
                 PointSpec(
                     "sort-des",
                     f"scale-sort-inic-{topo}-p{p}",
-                    {**sort_base, "card": "aceii-prototype"},
+                    {**sort_base, **inic},
                 )
             )
             rows = rows_base if rows_base % p == 0 else p
@@ -952,7 +959,7 @@ def _topology_points(scale, max_p, want) -> list[PointSpec]:
                 PointSpec(
                     "fft-des",
                     f"scale-fft-inic-{topo}-p{p}",
-                    {**fft_base, "card": "aceii-prototype"},
+                    {**fft_base, **inic},
                 )
             )
             if p == min(procs):  # one baseline pair per topology
@@ -1218,9 +1225,19 @@ def build_report(
             # fabric topology comes from the spec (not the cached value),
             # so legacy cache entries report correctly too
             "fabric": r.spec.params.get("fabric", "wire"),
+            # bulk flow-clock admission opt-in (spec-side, like fabric)
+            "fastpath": bool(r.spec.params.get("fastpath", False)),
         }
+        if r.cached:
+            # The wall (and anything derived from it) was measured by
+            # whichever host populated the cache — tag it so `--check`
+            # style gates never read wall-derived fields off this row
+            # (see repro.bench.perf.WALL_DERIVED).
+            entry["wall_cached"] = True
         if "hops" in r.value:  # hierarchical fabrics: routing cost
             entry["hops"] = r.value["hops"]
+        if "trains_fast" in r.value:
+            entry["trains_fast"] = r.value["trains_fast"]
         if r.wall_seconds > 0 and r.events:
             #: host throughput — the human-facing perf headline; event
             #: counts remain the machine-independent gate
@@ -1302,6 +1319,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="(scale suite) restrict to these fabric kinds (repeatable; "
         "default: all).  The CI matrix runs one kind per job; point "
         "identities are filter-independent so the legs share caches",
+    )
+    parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="(scale suite) run the INIC points frame-level instead of "
+        "with bulk flow-clock admission (repro.net.flowclock); the two "
+        "modes cache separately",
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -1393,7 +1416,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         elif args.suite == "chaos":
             points = chaos_points(scale)
         elif args.suite == "scale":
-            points = scale_points(scale, max_p=args.max_p, fabrics=args.fabrics)
+            points = scale_points(
+                scale,
+                max_p=args.max_p,
+                fabrics=args.fabrics,
+                fastpath=not args.no_fastpath,
+            )
         else:
             points = perf_points(scale)
         if args.telemetry or args.report:

@@ -108,6 +108,10 @@ class ClusterSpec:
     #: (kept hashable so the frozen spec stays usable as a cache key) —
     #: e.g. ``(("oversub", 2),)`` for a 2:1 fat-tree
     fabric_options: tuple[tuple[str, object], ...] = ()
+    #: opt-in for the exchange-phase bulk fast path
+    #: (:mod:`repro.net.flowclock`): cards admit train scatters in
+    #: closed form when per-operation eligibility holds
+    fastpath: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -244,6 +248,7 @@ class Cluster:
                     cpu=cpu,
                     name=f"inic{rank}",
                 )
+                inic.fastpath = spec.fastpath
                 if plan is not None:
                     inic.fabric.install_config_fault(
                         lambda attempt, _name=inic.name: plan.config_attempt_fails(

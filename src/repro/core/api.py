@@ -233,6 +233,16 @@ class Experiment:
             fabric=kind, fabric_options=tuple(sorted(options.items()))
         )
 
+    def fastpath(self, enabled: bool = True) -> "Experiment":
+        """Opt in to the exchange-phase bulk fast path
+        (:mod:`repro.net.flowclock`): INIC cards admit all-to-all frame
+        trains in closed form, collapsing per-chunk event cascades to a
+        handful of scheduled callbacks.  Eligibility is still checked
+        per operation; ineligible scatters (retries enabled, faulted
+        wires, busy flow windows) take the frame-level path unchanged.
+        """
+        return self._with(fastpath=enabled)
+
     def telemetry(self, enabled: bool = True) -> "Experiment":
         """Instrument every component at build time."""
         return self._with(telemetry=enabled)

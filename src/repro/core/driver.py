@@ -44,14 +44,17 @@ class HostDriver:
         tag: int,
         blocks: list[SendBlock],
         window_bytes: int | None = None,
+        train: bool = False,
     ):
         """Generator: post a scatter; returns the :class:`ScatterOp`.
 
         ``window_bytes`` narrows the per-destination flow window for
         incast-shaped operations (see :class:`~repro.inic.card.CardSpec`).
+        ``train`` marks the blocks as one sender's slice of a bulk
+        exchange so the card may take the flow-clock fast path.
         """
         yield from self._charge_post(len(blocks))
-        return self.card.post_scatter(tag, blocks, window_bytes)
+        return self.card.post_scatter(tag, blocks, window_bytes, train=train)
 
     def gather(
         self,
@@ -79,7 +82,7 @@ class HostDriver:
         """
         span = self.trace.open("inic-exchange", card=self.card.name) if self.trace else None
         gop: GatherOp = yield from self.gather(tag, plan, assemble)
-        sop: ScatterOp = yield from self.scatter(tag, blocks)
+        sop: ScatterOp = yield from self.scatter(tag, blocks, train=True)
         result = yield gop.done
         yield sop.sent  # always already done, but keeps invariants explicit
         if span is not None:

@@ -139,10 +139,15 @@ class ScatterOp:
         tag: int,
         blocks: list[SendBlock],
         window_bytes: Optional[int] = None,
+        train: bool = False,
     ):
         self.tag = tag
         self.blocks = blocks
         self.window_bytes = window_bytes  # per-destination flow window
+        #: exchange-phase marker: the poster vouches that this scatter is
+        #: one sender's slice of a bulk all-to-all, making it a candidate
+        #: for the flow-clock fast path (when the card enables it)
+        self.train = train
         self.sent: Event = sim.event(name=f"scatter#{tag}.sent")
         self.bytes_total = sum(b.nbytes for b in blocks)
 
@@ -284,6 +289,10 @@ class INICCard:
         self._design_min_rate: float = float("inf")
         self._chunk_cache: dict[tuple[int, Optional[int]], list[int]] = {}
         self._wire_out: Optional[Wire] = None
+        #: opt-in for the exchange-phase bulk fast path (set by the
+        #: cluster builder from ``ClusterSpec.fastpath``); eligibility
+        #: is still checked per operation (:meth:`_fast_eligible`)
+        self.fastpath = False
 
         self._scatter_q: Store = Store(sim, name=f"{name}.scatters")
         self._egress_q: Store = Store(sim, capacity=8, name=f"{name}.egress")
@@ -424,16 +433,19 @@ class INICCard:
         tag: int,
         blocks: list[SendBlock],
         window_bytes: Optional[int] = None,
+        train: bool = False,
     ) -> ScatterOp:
         """Post a scatter descriptor (free for the host CPU).
 
         ``window_bytes`` overrides the card's per-destination flow
         window for this operation (incast-heavy collectives pass a
         smaller one so the fabric's no-loss invariant holds).
+        ``train`` marks the scatter as one sender's slice of a bulk
+        exchange — a flow-clock fast-path candidate.
         """
         if not blocks:
             raise OffloadError("scatter with no blocks")
-        op = ScatterOp(self.sim, tag, blocks, window_bytes)
+        op = ScatterOp(self.sim, tag, blocks, window_bytes, train=train)
         if self.spec.proto.max_retries > 0:
             # Retain each destination's block so a NACK can be served.
             # Recovery assumes one block per (tag, destination), which is
@@ -517,6 +529,9 @@ class INICCard:
         ingest_rate_fn = lambda: self.datapath_rate(self.host_tx.bandwidth)
         while True:
             op: ScatterOp = yield self._scatter_q.get()
+            if op.train and self._fast_eligible(op):
+                self._run_scatter_fast(op)
+                continue
             window = op.window_bytes or self.spec.flow_window
             for block in op.blocks:
                 sizes = self._chunks_of(block.nbytes, window)
@@ -598,6 +613,214 @@ class INICCard:
         if chunk.last and block is op.blocks[-1]:
             op.sent.succeed(None)
 
+    # -- exchange-phase fast path (repro.net.flowclock) ---------------------------------
+    def _fast_eligible(self, op: ScatterOp) -> bool:
+        """Can this train scatter take the bulk path exactly?
+
+        Requires the shared-bus geometry (one FCFS clock carries the
+        whole cascade, so it reduces to closed form), no loss recovery
+        (retention/NACK state must see every frame individually), a
+        train-capable fault-free fabric, and a quiescent flow window —
+        each block within it and nothing outstanding toward its
+        destination, so credit elision cannot overrun a receiver.
+        """
+        if not self.fastpath or self.spec.proto.max_retries > 0:
+            return False
+        bus = self.host_tx
+        if bus is not self.net_tx or not isinstance(bus, FCFSBus):
+            return False
+        wire = self._wire_out
+        if wire is None or not hasattr(wire, "send_train"):
+            return False
+        if wire.fault is not None or not wire.fabric.fastpath_ok():
+            return False
+        window = op.window_bytes or self.spec.flow_window
+        addr = self.address
+        outstanding = self._outstanding
+        for block in op.blocks:
+            if block.dst.is_broadcast or block.nbytes > window:
+                return False
+            if block.dst != addr and outstanding.get(block.dst.value, 0.0) > 0.0:
+                return False
+        return True
+
+    def _run_scatter_fast(self, op: ScatterOp) -> None:
+        """Whole-scatter datapath in closed form: zero events per chunk.
+
+        The slow path's per-chunk event cascade (ingest transfer,
+        datapath stall, egress-queue rendezvous, credit gate, egress
+        transfer) collapses onto the shared bus clock: chunks alternate
+        ingest/egress strictly, each egress starting no earlier than its
+        chunk's datapath-ready time.  The bus clock and statistics are
+        committed in bulk, the frame train is handed to the fabric's
+        flow clock in one call, and the operation completes with two
+        scheduled callbacks total (delivery of self-addressed blocks
+        adds one each).  Credits are elided (``nocredit``): eligibility
+        already guaranteed the window cannot overrun.
+        """
+        sim = self.sim
+        now = sim.now
+        bus = self.host_tx
+        proto = self.spec.proto
+        stats = self.stats
+        window = op.window_bytes or self.spec.flow_window
+        bw = bus.bandwidth
+        ingest_rate = self.datapath_rate(bw)
+        arb = bus.arbitration_latency
+        busy = bus._busy_until
+        if now > busy:
+            busy = now
+        n_xfers = 0
+        bus_bytes = 0.0
+        busy_add = 0.0
+        frames: list[Frame] = []
+        times: list[float] = []
+        local: list[tuple[float, SendBlock, int, bool]] = []
+        last_t = now
+        addr = self.address
+        for block in op.blocks:
+            sizes = self._chunks_of(block.nbytes, window)
+            is_local = block.dst == addr
+            n_sizes = len(sizes)
+            for i, size in enumerate(sizes):
+                d_in = arb + size / bw
+                fin_i = busy + d_in
+                busy = fin_i
+                n_xfers += 1
+                bus_bytes += size
+                busy_add += d_in
+                extra = size / ingest_rate - size / bw
+                ready = fin_i + extra if extra > 1e-12 else fin_i
+                stats.bytes_ingested += size
+                self._track_mem(size)
+                last_chunk = i == n_sizes - 1
+                if is_local:
+                    self._track_mem(-size)
+                    local.append((ready, block, size, last_chunk))
+                    if ready > last_t:
+                        last_t = ready
+                    continue
+                d_out = arb + size / bw
+                start_e = busy if busy > ready else ready
+                fin_e = start_e + d_out
+                busy = fin_e
+                n_xfers += 1
+                bus_bytes += size
+                busy_add += d_out
+                self._track_mem(-size)
+                n_packets = -(-size // proto.packet_size)
+                frames.append(
+                    Frame(
+                        src=addr,
+                        dst=block.dst,
+                        payload_bytes=size,
+                        headers=proto.headers,
+                        frame_count=n_packets,
+                        kind="inic",
+                        payload=block.data if last_chunk else None,
+                        meta={
+                            "op": op.tag,
+                            "last": last_chunk,
+                            "total": block.nbytes,
+                            "nocredit": True,
+                        },
+                    )
+                )
+                times.append(fin_e)
+                stats.frames_sent += n_packets
+                stats.bytes_egressed += size
+                if fin_e > last_t:
+                    last_t = fin_e
+        bus._busy_until = busy
+        bus_stats = bus.stats
+        bus_stats.bytes_transferred += bus_bytes
+        bus_stats.transfer_count += n_xfers
+        bus_stats.busy_time += busy_add
+        if frames:
+            self._wire_out.send_train(frames, times)
+        for ready, block, size, last_chunk in local:
+            sim.call_after(
+                ready - now, self._fast_local_deliver, op, block, size, last_chunk
+            )
+        sim.call_after(last_t - now, op.sent.succeed, None)
+
+    def _fast_local_deliver(
+        self, op: ScatterOp, block: SendBlock, size: int, last: bool
+    ) -> None:
+        """Self-addressed chunk landing (the fast-path twin of
+        :meth:`_local_deliver`; completion is signalled separately)."""
+        gather = self._gathers.get(op.tag)
+        frame = Frame(
+            src=self.address,
+            dst=self.address,
+            payload_bytes=size,
+            headers=0,
+            kind="inic-local",
+            payload=block.data if last else None,
+            meta={"op": op.tag, "last": last, "total": block.nbytes},
+        )
+        if gather is None:
+            self._pending_rx.setdefault(op.tag, deque()).append(frame)
+        else:
+            self._account_rx(gather, frame)
+
+    def receive_train(self, frames: list[Frame], times: list[float]) -> None:
+        """Bulk receive from the fabric's delivery batcher.
+
+        One card-bus reservation covers the whole group's payload
+        crossing (``len(frames)`` back-to-back transfers, exactly the
+        slow path's per-frame bus occupancy), and one callback at its
+        completion accounts every frame.  Non-datapath frames (credits,
+        NACKs) fall through to :meth:`receive_frame` unchanged.
+        """
+        inic: list[Frame] = []
+        for frame in frames:
+            if frame.kind == "inic":
+                inic.append(frame)
+            else:
+                self.receive_frame(frame)
+        if not inic:
+            return
+        bus = self.net_rx
+        reserve = getattr(bus, "reserve", None)
+        if reserve is None:
+            for frame in inic:
+                self._rx_q.put(frame)
+            return
+        total = sum(f.payload_bytes for f in inic)
+        _start, finish = reserve(total, len(inic))
+        self.sim.call_after(finish - self.sim.now, self._finish_rx_train, inic)
+
+    def _finish_rx_train(self, frames: list[Frame]) -> None:
+        """The group's bus crossing completed: account every frame."""
+        stats = self.stats
+        wire = self._wire_out
+        for frame in frames:
+            stats.frames_received += frame.frame_count
+            stats.bytes_received += frame.payload_bytes
+            self._track_mem(frame.payload_bytes)
+            if (
+                not frame.meta.get("nocredit")
+                and not frame.dst.is_broadcast
+                and wire is not None
+            ):
+                wire.send(
+                    Frame(
+                        src=self.address,
+                        dst=frame.src,
+                        payload_bytes=0,
+                        headers=self.spec.proto.headers,
+                        kind="inic-credit",
+                        meta={"credit": frame.payload_bytes},
+                    )
+                )
+            tag = frame.meta["op"]
+            gather = self._gathers.get(tag)
+            if gather is None:
+                self._pending_rx.setdefault(tag, deque()).append(frame)
+            else:
+                self._account_rx(gather, frame)
+
     # -- receive datapath ---------------------------------------------------------------
     def _rx_loop(self):
         """MAC -> (depacketize, transform) -> card memory, chunked."""
@@ -610,7 +833,11 @@ class INICCard:
             self.stats.frames_received += frame.frame_count
             self.stats.bytes_received += frame.payload_bytes
             self._track_mem(frame.payload_bytes)
-            if not frame.dst.is_broadcast and self._wire_out is not None:
+            if (
+                not frame.dst.is_broadcast
+                and self._wire_out is not None
+                and not frame.meta.get("nocredit")
+            ):
                 # Return a credit: the bytes have left the fabric.
                 self._wire_out.send(
                     Frame(

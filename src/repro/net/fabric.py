@@ -195,6 +195,10 @@ class _AggregateUplink:
     def send(self, frame: Frame) -> float:
         return self.fabric._send(self, frame)
 
+    def send_train(self, frames: Sequence[Frame], times: Sequence[float]) -> float:
+        """Bulk-admit a frame train (see :mod:`repro.net.flowclock`)."""
+        return self.fabric.send_train(self, frames, times)
+
     def install_fault(self, fault) -> None:
         """Attach a :class:`~repro.faults.WireFault` injector."""
         if self.fault is not None:
@@ -288,6 +292,19 @@ class AggregateFabric:
         self._uplink_drops = 0
         self._uplink_drop_bytes = 0.0
         self._component_transitions = 0
+        # -- bulk-admission fast path (repro.net.flowclock) -------------
+        #: when non-None, ``_deliver`` appends ``(port, frame,
+        #: deliver_at)`` here instead of scheduling — the flow clock
+        #: dispatches the whole train afterwards
+        self._collect: Optional[list] = None
+        #: per-destination-port delivery batchers, lazily created
+        self._train_batchers: dict = {}
+        #: True once a component-fault schedule is staged; bulk
+        #: admission then falls back to frame-level so seeded fault
+        #: schedules stay bit-identical
+        self._faults_armed = False
+        #: trains admitted via the vectorized fast path
+        self.trains_fast = 0
 
     # -- wiring -----------------------------------------------------------------
     def uplink(self, port: int) -> _AggregateUplink:
@@ -351,6 +368,8 @@ class AggregateFabric:
                 (port, start, duration) for start, duration in comp.windows
             )
         self._pending_components = staged
+        if staged:
+            self._faults_armed = True
 
     def _arm_component_faults(self) -> None:
         """First fabric traffic: schedule the staged windows relative to
@@ -423,10 +442,22 @@ class AggregateFabric:
                 uplink._busy_until = start + tx_time
                 uplink.busy_time += tx_time
                 return uplink._busy_until + self.propagation_delay
+        return self._admit(uplink, frame, now, tx_time)
+
+    def _admit(
+        self, uplink: _AggregateUplink, frame: Frame, now: float, tx_time: float
+    ) -> float:
+        """Fault-free admission at logical time ``now``.
+
+        The tail of :meth:`_send` with the clock reading parameterized:
+        the flow-clock fast path replays it per frame of a train at the
+        frame's send time, so bulk admission runs the exact float
+        recurrences of the frame-level path.
+        """
         start = now if now > uplink._busy_until else uplink._busy_until
         uplink._busy_until = start + tx_time
         uplink.frames_sent += frame.frame_count
-        uplink.bytes_sent += wire_size
+        uplink.bytes_sent += frame.wire_size
         uplink.busy_time += tx_time
         arrival = start + tx_time + self.propagation_delay + self.forwarding_latency
         dst = frame.dst
@@ -441,6 +472,22 @@ class AggregateFabric:
         if port is None:
             raise NetworkError(f"no forwarding entry for {dst}")
         return self._deliver(port, frame, arrival, tx_time)
+
+    def fastpath_ok(self) -> bool:
+        """True when bulk admission preserves identity fabric-wide.
+
+        Component fault windows perturb admission outcomes mid-train,
+        so a staged schedule pins every train to the frame-level path
+        (per-uplink wire injectors are checked per train instead).
+        """
+        return not self._faults_armed
+
+    def send_train(
+        self, uplink: _AggregateUplink, frames: Sequence[Frame], times: Sequence[float]
+    ) -> float:
+        from .flowclock import admit_train
+
+        return admit_train(self, uplink, frames, times)
 
     def _deliver(self, port: int, frame: Frame, arrival: float, tx_time: float) -> float:
         stats = self._stats[port]
@@ -463,6 +510,10 @@ class AggregateFabric:
         device = self._devices[port]
         if device is None:
             raise NetworkError(f"fabric port {port} has no station attached")
+        collect = self._collect
+        if collect is not None:
+            collect.append((port, frame, deliver_at))
+            return deliver_at
         sim = self.sim
         sim.call_after(deliver_at - sim.now, device.receive_frame, frame)
         return deliver_at

@@ -554,6 +554,18 @@ class HierarchicalFabric:
         self._uplink_drops = 0
         self._uplink_drop_bytes = 0.0
         self._component_transitions = 0
+        # -- bulk-admission fast path (repro.net.flowclock) -------------
+        #: when non-None, ``_route_deliver`` appends ``(port, frame,
+        #: deliver_at)`` here instead of scheduling delivery
+        self._collect: Optional[list] = None
+        #: per-destination-port delivery batchers, lazily created
+        self._train_batchers: dict = {}
+        #: True once a component-fault schedule is staged; bulk
+        #: admission then falls back to frame-level so seeded fault
+        #: schedules stay bit-identical
+        self._faults_armed = False
+        #: trains admitted via the vectorized fast path
+        self.trains_fast = 0
 
     # -- wiring -----------------------------------------------------------------
     def uplink(self, port: int) -> _AggregateUplink:
@@ -613,6 +625,8 @@ class HierarchicalFabric:
                 for start, duration in comp.windows
             )
         self._pending_components = staged
+        if staged:
+            self._faults_armed = True
 
     def _arm_component_faults(self) -> None:
         """First fabric traffic: turn the staged windows into scheduled
@@ -731,10 +745,17 @@ class HierarchicalFabric:
                 uplink._busy_until = start + tx_time
                 uplink.busy_time += tx_time
                 return uplink._busy_until + self.propagation_delay
+        return self._admit(uplink, frame, now, tx_time)
+
+    def _admit(
+        self, uplink: _AggregateUplink, frame: Frame, now: float, tx_time: float
+    ) -> float:
+        """Fault-free admission at logical time ``now`` (see
+        :meth:`AggregateFabric._admit <repro.net.fabric.AggregateFabric._admit>`)."""
         start = now if now > uplink._busy_until else uplink._busy_until
         uplink._busy_until = start + tx_time
         uplink.frames_sent += frame.frame_count
-        uplink.bytes_sent += wire_size
+        uplink.bytes_sent += frame.wire_size
         uplink.busy_time += tx_time
         arrival = start + tx_time + self.propagation_delay + self.forwarding_latency
         dst = frame.dst
@@ -751,6 +772,18 @@ class HierarchicalFabric:
         if port is None:
             raise NetworkError(f"no forwarding entry for {dst}")
         return self._route_deliver(uplink.port, port, frame, arrival, tx_time)
+
+    def fastpath_ok(self) -> bool:
+        """True when bulk admission preserves identity fabric-wide
+        (component windows — switch or uplink — force frame-level)."""
+        return not self._faults_armed
+
+    def send_train(
+        self, uplink: _AggregateUplink, frames: Sequence[Frame], times: Sequence[float]
+    ) -> float:
+        from .flowclock import admit_train
+
+        return admit_train(self, uplink, frames, times)
 
     def _route_deliver(
         self, src_port: int, dst_port: int, frame: Frame, arrival: float,
@@ -843,6 +876,10 @@ class HierarchicalFabric:
         device = self._devices[dst_port]
         if device is None:
             raise NetworkError(f"fabric port {dst_port} has no station attached")
+        collect = self._collect
+        if collect is not None:
+            collect.append((dst_port, frame, deliver_at))
+            return deliver_at
         sim = self.sim
         sim.call_after(deliver_at - sim.now, device.receive_frame, frame)
         return deliver_at

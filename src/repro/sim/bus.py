@@ -128,6 +128,30 @@ class FCFSBus:
         yield self.transfer(nbytes)
         return nbytes
 
+    def reserve(self, nbytes: float, transactions: int = 1) -> tuple[float, float]:
+        """Claim bus time for ``transactions`` back-to-back transfers.
+
+        Event-free companion to :meth:`transfer` for bulk admission: the
+        busy clock advances exactly as if ``transactions`` transfers
+        totalling ``nbytes`` had been issued one after another (each
+        paying the arbitration latency), but no completion event is
+        allocated — the caller schedules its own wakeup.  Returns
+        ``(start, finish)`` of the reserved window.
+        """
+        if nbytes <= 0:
+            raise BusError(f"bus reserve of {nbytes} bytes on {self.name!r}")
+        if transactions < 1:
+            raise BusError(f"bus reserve of {transactions} transactions")
+        now = self.sim.now
+        start = now if now > self._busy_until else self._busy_until
+        duration = transactions * self.arbitration_latency + nbytes / self.bandwidth
+        finish = start + duration
+        self._busy_until = finish
+        self.stats.bytes_transferred += nbytes
+        self.stats.transfer_count += transactions
+        self.stats.busy_time += duration
+        return start, finish
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FCFSBus {self.name!r} {self.bandwidth:g} B/s>"
 

@@ -275,6 +275,12 @@ class _Callback:
         self.args: tuple = ()
 
 
+def _run_group(calls: list) -> None:
+    """Fire a :meth:`Simulator.call_group` batch (list order)."""
+    for fn, args in calls:
+        fn(*args)
+
+
 class Initialize(Event):
     """Internal: kicks off a newly created process."""
 
@@ -625,6 +631,17 @@ class Simulator:
         cb.fn = fn
         cb.args = args
         return self._push_timer(self._now + delay, NORMAL, next(self._seq), cb)
+
+    def call_group(self, delay: float, calls: list) -> list:
+        """Run a list of ``(fn, args)`` pairs after ``delay`` seconds.
+
+        Bulk-injection companion to :meth:`call_after`: the whole group
+        rides a single pooled scheduler entry and fires in list order at
+        one timestamp.  Used by the flow-clock fast path to deliver a
+        frame train with one event instead of one per frame.  Returns a
+        :meth:`cancel_callback`-compatible handle.
+        """
+        return self.call_after(delay, _run_group, calls)
 
     def cancel_callback(self, handle) -> bool:
         """Cancel a pending :meth:`call_after`; True if it was withdrawn.

@@ -223,3 +223,93 @@ def test_telemetry_surface_matches_switch_naming():
     assert snap["switch.drops"] == 0
     assert snap["switch.port1.frames"] == 1
     assert snap["switch.port1.bytes"] > 500
+
+
+# -- bulk flow-clock admission (repro.net.flowclock) ------------------------
+def test_bulk_train_admission_matches_frame_level():
+    """The exchange pattern replayed bulk vs frame-level: every arrival
+    float and the conservation ledger must be identical."""
+    from repro.net.flowclock import _replay
+
+    ref, ref_ledger, _ = _replay(build_aggregate_star, {}, 16, bulk=False)
+    got, ledger, fabric = _replay(build_aggregate_star, {}, 16, bulk=True)
+    assert got == ref
+    assert ledger == ref_ledger
+    assert fabric.trains_fast > 0
+
+
+def test_bulk_train_tail_drop_boundary_matches():
+    """The harness's incast burst overflows one egress buffer inside a
+    train; which frames survive (and the drop ledger) must not depend
+    on the admission path."""
+    from repro.net.flowclock import _replay
+
+    ref, ref_ledger, _ = _replay(build_aggregate_star, {}, 16, bulk=False)
+    got, ledger, _ = _replay(build_aggregate_star, {}, 16, bulk=True)
+    assert ref_ledger["frames_dropped"] > 0
+    assert ledger == ref_ledger
+    assert got == ref
+
+
+def test_bulk_train_faulted_uplink_falls_back_bit_identically():
+    """A per-uplink injector forces that uplink's trains frame-level;
+    its seeded decision log — and everyone's arrivals — stay
+    bit-identical, while other senders still bulk-admit."""
+    from repro.net.flowclock import _exchange_trains, _replay
+
+    spec = FaultSpec(seed=7, loss_rate=0.25, corrupt_rate=0.1)
+    ref, ref_ledger, ref_fab = _replay(
+        build_aggregate_star, {}, 16, bulk=False, fault_spec=spec
+    )
+    got, ledger, fab = _replay(
+        build_aggregate_star, {}, 16, bulk=True, fault_spec=spec
+    )
+    assert got == ref
+    assert ledger == ref_ledger
+    assert fab.uplink(0).fault.log == ref_fab.uplink(0).fault.log
+    assert 0 < fab.trains_fast < len(_exchange_trains(16))
+
+
+def test_component_arming_mid_train_degrades_remainder_exactly():
+    """A component-fault window arming between admission slices sends
+    the train's remainder frame-level; arrivals still match an
+    all-frame-level replay exactly and nothing is lost."""
+    from repro.net.flowclock import ADMIT_SLICE
+
+    spans = []
+    for bulk in (False, True):
+        sim, stations, addrs, fabric = make_fabric(n=4)
+        frames = [
+            Frame(addrs[0], addrs[1], payload_bytes=1000, headers=8)
+            for _ in range(8)
+        ]
+        times = [i * ADMIT_SLICE / 2 for i in range(8)]
+        if bulk:
+            fabric.uplink(0).send_train(frames, times)
+        else:
+            for frame, t in zip(frames, times):
+                sim.call_after(t, fabric._send, fabric.uplink(0), frame)
+        sim.call_after(
+            1.25 * ADMIT_SLICE, setattr, fabric, "_faults_armed", True
+        )
+        sim.run()
+        counters = fabric.conservation_counters()
+        assert counters["frames_in"] == 8
+        assert counters["frames_delivered"] == 8
+        spans.append([t for _, t in stations[1].got])
+    assert spans[0] == spans[1]
+
+
+def test_zero_length_train_is_a_no_op():
+    sim, stations, addrs, fabric = make_fabric()
+    assert fabric.uplink(0).send_train([], []) == sim.now
+    sim.run()
+    assert fabric.trains_fast == 0
+    assert all(st.got == [] for st in stations)
+
+
+def test_train_length_mismatch_rejected():
+    sim, stations, addrs, fabric = make_fabric()
+    frame = Frame(addrs[0], addrs[1], payload_bytes=64)
+    with pytest.raises(ValueError, match="train mismatch"):
+        fabric.uplink(0).send_train([frame], [0.0, 1.0])

@@ -437,3 +437,22 @@ def test_scale_by_name_error_names_choices():
     with pytest.raises(ApplicationError, match="bench, ci, large, paper"):
         Scale.by_name("huge")
     assert Scale.by_name("large").topologies == ("fattree", "torus")
+
+
+# -- bulk flow-clock admission (repro.net.flowclock) ------------------------
+@pytest.mark.parametrize(
+    "builder,opts",
+    [(build_fattree, {}), (build_fattree, {"oversub": 2}), (build_torus, {})],
+)
+def test_bulk_exchange_matches_frame_level(builder, opts):
+    """Bulk train admission through the hierarchical fabrics: arrival
+    floats, per-hop ledger, and drop accounting identical to the
+    frame-level path (the tail-drop boundary rides inside the
+    harness's incast burst on the fat-tree)."""
+    from repro.net.flowclock import _replay
+
+    ref, ref_ledger, _ = _replay(builder, opts, 16, bulk=False)
+    got, ledger, fabric = _replay(builder, opts, 16, bulk=True)
+    assert got == ref
+    assert ledger == ref_ledger
+    assert fabric.trains_fast > 0
